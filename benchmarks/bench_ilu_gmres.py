@@ -1,0 +1,70 @@
+"""Related-work experiment (§6, Duff & Koster [13]): MC64 + ILU + Krylov.
+
+Paper: "They experimented with some iterative methods such as GMRES,
+BiCGSTAB and QMR using ILU preconditioners.  The convergence rate is
+substantially improved in many cases when the initial permutation is
+employed."
+
+Reproduced: GMRES(30)/ILU(0) and BiCGSTAB/ILU(0) iteration counts with
+and without the MC64 max-product permutation + scaling, over systems
+whose dominant entries sit off the diagonal (row-scrambled PDEs and a
+zero-diagonal chemical flowsheet).
+"""
+
+import numpy as np
+
+from conftest import save_table
+from repro.analysis import Table
+from repro.iterative import PreconditionedSolver
+from repro.matrices import chemical_process, convection_diffusion_2d, device_simulation_2d
+from repro.sparse.ops import permute_rows
+
+
+def _cases():
+    rng = np.random.default_rng(64)
+    cd = convection_diffusion_2d(16, peclet=50.0, seed=2)
+    dv = device_simulation_2d(14, field=8.0, seed=2)
+    return {
+        "scrambled CFD": permute_rows(cd, rng.permutation(cd.ncols)),
+        "scrambled device": permute_rows(dv, rng.permutation(dv.ncols)),
+        "chem flowsheet": chemical_process(25, comps=5, seed=2),
+    }
+
+
+def bench_ilu_gmres(benchmark):
+    t = Table("Krylov+ILU(0): iterations with/without MC64 step (1)",
+              ["system", "method", "with MC64", "without MC64"])
+    improvements = []
+    cases = _cases()
+    for name, a in cases.items():
+        b = a @ np.ones(a.ncols)
+        for method in ("gmres", "bicgstab", "tfqmr"):
+            good = PreconditionedSolver(a, mc64_permute=True).solve(
+                b, method=method, tol=1e-9, max_iter=600)
+            bad = PreconditionedSolver(a, mc64_permute=False).solve(
+                b, method=method, tol=1e-9, max_iter=600)
+            g = good.iterations if good.converged else None
+            w = bad.iterations if bad.converged else None
+            t.add(name, method,
+                  g if g is not None else "no convergence",
+                  w if w is not None else "no convergence")
+            if g is not None:
+                improvements.append((name, method, g, w))
+    save_table("ilu_gmres", t)
+
+    # the permuted runs converge on the scrambled systems...
+    scrambled = [x for x in improvements if "scrambled" in x[0]]
+    assert len(scrambled) >= 5
+    # ...and are never slower than the unpermuted ones (which mostly fail)
+    for (name, method, g, w) in improvements:
+        if w is not None:
+            assert g <= w, (name, method, g, w)
+    # at least one case shows the dramatic rescue (fail -> converge)
+    assert any(w is None for (_, _, _, w) in improvements)
+
+    a = cases["scrambled CFD"]
+    b = a @ np.ones(a.ncols)
+    benchmark.pedantic(
+        lambda: PreconditionedSolver(a, mc64_permute=True).solve(
+            b, tol=1e-9, max_iter=600),
+        rounds=1, iterations=1)

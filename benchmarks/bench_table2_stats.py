@@ -1,0 +1,37 @@
+"""Table 2: characteristics of the 8 large test matrices.
+
+Columns mirror the paper's: order, nnz(A), NumSym (fraction of nonzeros
+matched by equal values in symmetric positions), StrSym (matched by
+nonzeros), plus the fill of the static factorization.  Asserted shape
+facts: the device/CFD analogs are structurally symmetric (StrSym = 1,
+like AF23560/WANG4), the chemical and circuit analogs are far from it
+(like RDIST1/TWOTONE), and NumSym < StrSym throughout.
+"""
+
+from conftest import save_table
+from repro.analysis import Table
+from repro.matrices import matrix_by_name, matrix_stats
+
+
+def bench_table2_stats(benchmark, scaling_results):
+    t = Table("Table 2 — characteristics of the large matrices",
+              ["matrix", "analog of", "n", "nnz(A)", "NumSym", "StrSym",
+               "nnz(L+U)", "mean supernode"])
+    for name, r in scaling_results.items():
+        st = r["stats"]
+        t.add(name, r["analog_of"], r["n"], r["nnz"], st.num_sym,
+              st.str_sym, r["fill"], r["mean_supernode"])
+    save_table("table2_stats", t)
+
+    s = {name: r["stats"] for name, r in scaling_results.items()}
+    for name in ("AF23560a", "BBMATa", "ECL32a", "WANG4a"):
+        assert s[name].str_sym > 0.95, name
+    assert s["RDIST1a"].str_sym < 0.8
+    assert s["TWOTONEa"].str_sym < 0.6
+    for name, st in s.items():
+        assert st.num_sym <= st.str_sym + 1e-12, name
+    # the TWOTONE trait the paper calls out: tiny supernodes
+    assert scaling_results["TWOTONEa"]["mean_supernode"] < 5.0
+
+    a = matrix_by_name("TWOTONEa").build()
+    benchmark.pedantic(lambda: matrix_stats(a), rounds=1, iterations=1)

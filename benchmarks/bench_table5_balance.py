@@ -1,0 +1,40 @@
+"""Table 5: load balance and communication fraction at P = 64.
+
+Paper facts reproduced in shape:
+
+- load balance factor B is reasonable for most matrices but markedly
+  poor for at least one (the paper's TWOTONE: 0.17 for factorization);
+- "more than 50% of the factorization time is spent in communication"
+  even for the well-scaling matrices;
+- "for the solve ... communication takes more than 95% of the total
+  time" — here: the solve's communication fraction exceeds the
+  factorization's for every matrix and is > 75% throughout.
+"""
+
+from conftest import save_table
+from repro.analysis import Table
+
+
+def bench_table5_balance(benchmark, scaling_results):
+    t = Table("Table 5 — load balance (B) and communication at P=64",
+              ["matrix", "B factor", "B solve", "comm% factor",
+               "comm% solve"])
+    worst_b = 1.0
+    for name, r in scaling_results.items():
+        run = r["runs"][64]
+        t.add(name, run["factor_B"], run["solve_B"],
+              100 * run["factor_comm"], 100 * run["solve_comm"])
+        worst_b = min(worst_b, run["factor_B"])
+    save_table("table5_balance", t)
+
+    for name, r in scaling_results.items():
+        run = r["runs"][64]
+        assert 0.0 < run["factor_B"] <= 1.0
+        # communication dominates at 64 processors
+        assert run["factor_comm"] > 0.4, (name, run["factor_comm"])
+        # the solve is even more communication-bound than factorization
+        assert run["solve_comm"] > 0.7, (name, run["solve_comm"])
+    # at least one matrix shows markedly poor balance (the TWOTONE story)
+    assert worst_b < 0.5, worst_b
+
+    benchmark(lambda: sorted(scaling_results))

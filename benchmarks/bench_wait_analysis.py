@@ -1,0 +1,61 @@
+"""§3.4 idle-time diagnosis (the paper's Apprentice analysis).
+
+Paper, on why TWOTONE scales poorly: "processes are idle 60% of the time
+waiting to receive the column block of L sent from a process column on
+the left (step (1) in Figure 8), and are idle 23% of the time waiting to
+receive the row block of U ... Clearly, the critical path of the
+algorithm is in step (1)."
+
+Reproduced with the simulator's per-message-kind blocked-time breakdown:
+for the TWOTONE analog at P=64, idle time waiting on L-panel (and the
+diagonal block feeding step (1)) dominates idle time waiting on U-panel
+messages — the same critical-path diagnosis, produced by the same kind of
+measurement.
+"""
+
+import numpy as np
+
+from conftest import MACHINE, save_table
+from repro.analysis import Table
+from repro.driver.dist_driver import DistributedGESPSolver
+from repro.matrices import matrix_by_name
+from repro.pdgstrf.factor2d import _DIAG_L, _DIAG_U, _L_PANEL, _U_PANEL
+
+_KIND_NAMES = {_DIAG_L: "diag (L path)", _DIAG_U: "diag (U path)",
+               _L_PANEL: "L panel", _U_PANEL: "U panel"}
+
+
+def bench_wait_analysis(benchmark):
+    t = Table("Idle-time breakdown by awaited message kind (P=64, % of "
+              "total blocked time)",
+              ["matrix", "L panel + diag", "U panel + diag", "total "
+               "blocked (ms)"])
+    shares = {}
+    for name in ("TWOTONEa", "AF23560a", "RDIST1a"):
+        a = matrix_by_name(name).build()
+        s = DistributedGESPSolver(a, nprocs=64, machine=MACHINE,
+                                  relax_size=16)
+        run = s.factorize()
+        agg = {}
+        total = 0.0
+        for st in run.sim.stats:
+            for kind, sec in st.blocked_by_kind.items():
+                agg[kind] = agg.get(kind, 0.0) + sec
+                total += sec
+        l_share = (agg.get(_L_PANEL, 0.0) + agg.get(_DIAG_L, 0.0)) / total
+        u_share = (agg.get(_U_PANEL, 0.0) + agg.get(_DIAG_U, 0.0)) / total
+        shares[name] = (l_share, u_share)
+        t.add(name, 100 * l_share, 100 * u_share, total * 1e3)
+    save_table("wait_analysis", t)
+
+    # the paper's diagnosis: waiting on the L/step-(1) path dominates
+    # waiting on the U/step-(2) path — for TWOTONE and in general
+    for name, (l_share, u_share) in shares.items():
+        assert l_share > u_share, (name, l_share, u_share)
+    assert shares["TWOTONEa"][0] > 0.5  # paper: ~60% for TWOTONE
+
+    a = matrix_by_name("RDIST1a").build()
+    benchmark.pedantic(
+        lambda: DistributedGESPSolver(a, nprocs=16, machine=MACHINE,
+                                      relax_size=16).factorize(),
+        rounds=1, iterations=1)

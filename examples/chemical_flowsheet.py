@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Chemical process flowsheet: hard zero-diagonal systems + extensions.
+
+Chemical engineering matrices (the paper's WEST/LHR/RDIST family) have
+many structurally zero diagonal entries from mass-balance equations —
+among the worst cases for elimination without pivoting.  This example:
+
+1. shows GESP's option interface (the paper: "the user is able to turn
+   on or off any of these options") on such a matrix;
+2. demonstrates the §5 extensions: extra-precision residuals, and the
+   aggressive column-max pivot replacement recovered exactly through the
+   Sherman-Morrison-Woodbury identity;
+3. estimates a forward error bound the way LAPACK/SuperLU expose it.
+
+Run:  python examples/chemical_flowsheet.py
+"""
+
+import numpy as np
+
+from repro import GESPOptions, GESPSolver
+from repro.matrices import chemical_process, matrix_stats
+
+a = chemical_process(stages=120, comps=5, recycle=12, seed=11)
+n = a.ncols
+st = matrix_stats(a)
+print(f"flowsheet Jacobian: n={st.n}, nnz={st.nnz}, "
+      f"zero diagonals={st.zero_diagonals}, StrSym={st.str_sym:.2f}")
+
+x_true = np.ones(n)
+b = a @ x_true
+
+
+def report(tag, solver_opts, forward_error=False):
+    s = GESPSolver(a, solver_opts)
+    rep = s.solve(b, forward_error=forward_error)
+    err = np.abs(rep.x - x_true).max()
+    line = (f"{tag:<34} steps={rep.refine_steps} berr={rep.berr:.1e} "
+            f"err={err:.1e} tiny={s.factors.n_tiny_pivots}")
+    if forward_error:
+        line += f" ferr_bound={rep.forward_error_estimate:.1e}"
+    print(line)
+    return rep
+
+
+print()
+report("paper defaults", GESPOptions(), forward_error=True)
+report("bottleneck matching", GESPOptions(row_perm="mc64_bottleneck",
+                                          scale_diagonal=False))
+report("no Dr/Dc scaling (FIDAPM11 mode)", GESPOptions(scale_diagonal=False))
+report("extra-precision residual (§5)",
+       GESPOptions(extra_precision_residual=True))
+report("aggressive pivots + SMW (§5)",
+       GESPOptions(aggressive_pivot_replacement=True))
+report("symmetrized pattern (SuperLU_DIST)",
+       GESPOptions(symbolic_method="symmetrized"))
+
+print("\nwithout any pivoting precautions:")
+try:
+    report("no pivoting at all", GESPOptions.no_pivoting())
+except ZeroDivisionError as e:
+    print(f"  ZeroDivisionError: {e}")

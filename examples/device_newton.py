@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Semiconductor device simulation: Newton iterations over one pattern.
+
+The paper's motivating workload ("a complex unsymmetric system of order
+200,000 has been solved within 2 minutes" in a quantum chemistry code;
+the Table 2 matrices ECL32/WANG4 are device simulations): an outer
+nonlinear iteration repeatedly solves linear systems with the *same
+sparsity pattern* but different values.  Static pivoting shines here —
+the orderings and the symbolic factorization are computed once and
+amortized, exactly as §2.3 of the paper argues.
+
+This example mimics that loop: a Scharfetter-Gummel drift-diffusion
+Jacobian whose values change each "Newton step" (bias ramping), re-used
+symbolic analysis, fresh numeric factorizations.
+
+Run:  python examples/device_newton.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.driver import GESPOptions
+from repro.factor import gesp_factor
+from repro.matrices import device_simulation_2d
+from repro.ordering import column_ordering
+from repro.scaling import equilibrate, mc64
+from repro.sparse.ops import permute_rows, permute_symmetric, scale_cols, scale_rows
+from repro.symbolic import symbolic_lu
+from repro.solve import iterative_refinement
+
+NX = 40  # 1600-unknown device
+
+# --- "Newton step 0": full analysis ----------------------------------- #
+a0 = device_simulation_2d(NX, field=6.0, seed=7)
+n = a0.ncols
+
+t0 = time.perf_counter()
+eq = equilibrate(a0)
+scaled = eq.apply(a0)
+m = mc64(scaled, job="product", scale=True)
+perm_r = m.perm_r
+dr, dc = eq.dr * m.dr, eq.dc * m.dc
+work = permute_rows(scale_cols(scale_rows(a0, dr), dc), perm_r)
+perm_c = column_ordering(work, method="mmd_ata")
+work = permute_symmetric(work, perm_c)
+sym = symbolic_lu(work, method="unsymmetric")
+t_analysis = time.perf_counter() - t0
+print(f"analysis (equil + MC64 + MMD + symbolic): {t_analysis:.2f}s, "
+      f"fill nnz(L+U) = {sym.nnz_lu}")
+
+
+def transform(a):
+    """Apply the cached step-(1)/(2) transforms to a same-pattern matrix."""
+    return permute_symmetric(
+        permute_rows(scale_cols(scale_rows(a, dr), dc), perm_r), perm_c)
+
+
+def solve_with(factors, b):
+    c = np.empty(n)
+    c[perm_c[perm_r]] = dr * b
+    z = factors.solve(c)
+    return dc * z[perm_c]
+
+
+# --- Newton loop: same pattern, new values ----------------------------- #
+total_factor = 0.0
+for step, field in enumerate(np.linspace(6.0, 14.0, 6)):
+    a = device_simulation_2d(NX, field=float(field), seed=7)
+    x_true = np.ones(n)
+    b = a @ x_true
+
+    t0 = time.perf_counter()
+    f = gesp_factor(transform(a), sym=sym)  # symbolic reused!
+    t_factor = time.perf_counter() - t0
+    total_factor += t_factor
+
+    res = iterative_refinement(a, lambda r: solve_with(f, r), b)
+    err = np.abs(res.x - x_true).max()
+    print(f"step {step}: field={field:5.1f}  factor {t_factor:.2f}s  "
+          f"refine_steps={res.steps}  berr={res.berr:.1e}  err={err:.1e}  "
+          f"tiny_pivots={f.n_tiny_pivots}")
+
+print(f"\nanalysis amortized over 6 factorizations: "
+      f"{t_analysis:.2f}s analysis vs {total_factor:.2f}s numeric total")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""MC64 preprocessing for iterative methods (the Duff-Koster experiment).
+
+The same step-(1) transformation that stabilizes GESP — permute large
+entries to the diagonal and scale them to ±1 — also rescues incomplete-
+factorization preconditioners.  The paper's related work: "the
+convergence rate is substantially improved in many cases when the
+initial permutation is employed."
+
+This example takes a convection-diffusion operator whose rows have been
+scrambled (so the dominant entries sit off-diagonal, as in circuit and
+chemical-engineering matrices), and runs GMRES(30)/ILU(0) and
+BiCGSTAB/ILU(0) with and without the MC64 step.
+
+Run:  python examples/mc64_ilu_gmres.py
+"""
+
+import numpy as np
+
+from repro.iterative import PreconditionedSolver
+from repro.matrices import convection_diffusion_2d
+from repro.sparse.ops import permute_rows
+
+rng = np.random.default_rng(7)
+base = convection_diffusion_2d(20, peclet=40.0, seed=7)
+a = permute_rows(base, rng.permutation(base.ncols))  # hide the diagonal
+n = a.ncols
+b = a @ np.ones(n)
+print(f"system: n={n}, nnz={a.nnz} (row-scrambled convection-diffusion)")
+
+for method in ("gmres", "bicgstab"):
+    for use_mc64 in (True, False):
+        s = PreconditionedSolver(a, mc64_permute=use_mc64)
+        res = s.solve(b, method=method, tol=1e-10, max_iter=600)
+        tag = "with MC64   " if use_mc64 else "without MC64"
+        if res.converged:
+            err = np.abs(res.x - 1.0).max()
+            print(f"{method:9s} {tag}: converged in {res.iterations:4d} "
+                  f"iterations, err={err:.1e}")
+        else:
+            print(f"{method:9s} {tag}: NO CONVERGENCE in "
+                  f"{res.iterations} iterations "
+                  f"(residual {res.residual_norm:.1e})")
+
+print("\nThe direct GESP solver on the same system, for reference:")
+from repro import GESPSolver
+
+rep = GESPSolver(a).solve(b)
+print(f"GESP: {rep.refine_steps} refinement steps, berr={rep.berr:.1e}, "
+      f"err={np.abs(rep.x - 1.0).max():.1e}")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Complex unsymmetric systems: the paper's flagship application.
+
+Paper §4: "Our preliminary software is being used in a quantum chemistry
+application at Lawrence Berkeley National Laboratory, where a complex
+unsymmetric system of order 200,000 has been solved within 2 minutes."
+
+This example builds a complex shifted-Hamiltonian-style system
+(H − (E + iη) I) x = b — the linear system behind Green's-function /
+scattering calculations, which is complex, unsymmetric after the
+absorbing boundary terms, and indefinite — and solves it end-to-end
+through the dtype-generic GESP pipeline, including the condition
+estimate and forward error bound.
+
+Run:  python examples/quantum_chemistry.py
+"""
+
+import numpy as np
+
+from repro import CSCMatrix, GESPSolver
+from repro.sparse.ops import norm1
+
+# ---- build a discretized Hamiltonian with absorbing boundaries --------- #
+NX = 30                      # 900 unknowns (the paper's was 200,000)
+rng = np.random.default_rng(5)
+n = NX * NX
+rows, cols, vals = [], [], []
+
+
+def idx(i, j):
+    return i * NX + j
+
+
+for i in range(NX):
+    for j in range(NX):
+        v = idx(i, j)
+        # kinetic term: 5-point Laplacian
+        diag = 4.0 + 0.0j
+        for (a, b) in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= a < NX and 0 <= b < NX:
+                rows.append(v)
+                cols.append(idx(a, b))
+                vals.append(-1.0 + 0.0j)
+        # random potential well
+        diag += 0.8 * rng.standard_normal()
+        # complex absorbing potential near the boundary (breaks symmetry
+        # and Hermitianness — the "unsymmetric" in the paper's phrase)
+        edge = min(i, j, NX - 1 - i, NX - 1 - j)
+        if edge < 3:
+            diag -= 1j * 0.5 * (3 - edge)
+        # energy shift E + i*eta
+        diag -= 0.7 + 0.05j
+        rows.append(v)
+        cols.append(v)
+        vals.append(diag)
+
+from repro.sparse.coo import COOMatrix
+
+a = COOMatrix(n, n, np.array(rows), np.array(cols),
+              np.array(vals, dtype=complex)).to_csc()
+print(f"shifted Hamiltonian: n={n}, nnz={a.nnz}, dtype={a.nzval.dtype}")
+print(f"||A||_1 = {norm1(a):.3f}")
+
+# ---- GESP solve -------------------------------------------------------- #
+x_true = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+b = a @ x_true
+
+solver = GESPSolver(a)
+report = solver.solve(b, forward_error=True)
+
+print(f"\nfill nnz(L+U)     : {solver.symbolic.nnz_lu}")
+print(f"tiny pivots       : {solver.factors.n_tiny_pivots}")
+print(f"refinement steps  : {report.refine_steps}")
+print(f"backward error    : {report.berr:.2e}")
+print(f"forward error     : "
+      f"{np.abs(report.x - x_true).max() / np.abs(x_true).max():.2e}")
+print(f"error bound       : {report.forward_error_estimate:.2e}")
+print(f"condition estimate: {solver.condest():.2e}")
+
+# Green's function workloads need many right-hand sides (one per orbital):
+from repro.sparse.ops import spmv
+
+X_true = (rng.standard_normal((n, 4)) + 1j * rng.standard_normal((n, 4)))
+B = np.column_stack([spmv(a, X_true[:, t]) for t in range(4)])
+X, berr, steps = solver.solve_multi(B)
+print(f"\n4-RHS block solve : berr={berr:.2e}, steps={steps}, "
+      f"err={np.abs(X - X_true).max():.2e}")

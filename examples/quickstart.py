@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: solve an unsymmetric sparse system with GESP.
+
+Builds a circuit-simulation matrix whose diagonal contains structural
+zeros — the case where plain no-pivot elimination dies and partial
+pivoting (GEPP) is the classic cure — and shows that GESP (static
+pivoting + iterative refinement) matches GEPP's accuracy while using a
+fully static data structure.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GESPOptions, GESPSolver, gepp_factor
+from repro.matrices import circuit_mna
+
+# --- build a test problem -------------------------------------------- #
+# modified nodal analysis of a 400-node circuit with 60 voltage sources:
+# the MNA border has zero diagonal entries, so pivoting is *required*
+a = circuit_mna(n_nodes=400, n_vsources=60, seed=42)
+n = a.ncols
+x_true = np.ones(n)
+b = a @ x_true
+print(f"matrix: n={n}, nnz={a.nnz}")
+
+# --- GESP: the paper's Figure-1 pipeline ------------------------------ #
+solver = GESPSolver(a)  # steps (1)-(3): scale, permute, order, factor
+report = solver.solve(b)  # step (4): solve + iterative refinement
+
+print("\nGESP (static pivoting):")
+print(f"  refinement steps          : {report.refine_steps}")
+print(f"  componentwise backward err: {report.berr:.2e}")
+print(f"  forward error ||x-x*||/||x*||: "
+      f"{np.abs(report.x - x_true).max():.2e}")
+print(f"  tiny pivots replaced      : {solver.factors.n_tiny_pivots}")
+
+# --- GEPP baseline (SuperLU-style partial pivoting) ------------------- #
+gepp = gepp_factor(a)
+x_gepp = gepp.solve(b)
+print("\nGEPP (partial pivoting) baseline:")
+print(f"  forward error             : {np.abs(x_gepp - x_true).max():.2e}")
+
+# --- why not just skip pivoting? -------------------------------------- #
+try:
+    GESPSolver(a, GESPOptions.no_pivoting()).solve(b)
+    print("\nno-pivoting: survived (unusual for this matrix)")
+except ZeroDivisionError as e:
+    print(f"\nno-pivoting fails outright: {e}")
+
+# --- the factorization is reusable across right-hand sides ------------ #
+for k in range(3):
+    rhs = a @ (np.arange(n, dtype=float) + k)
+    rep = solver.solve(rhs)
+    err = np.abs(rep.x - (np.arange(n) + k)).max()
+    print(f"extra solve {k}: forward error {err:.2e}")

@@ -1,0 +1,24 @@
+"""Measurement and reporting utilities for the benchmark harness.
+
+:mod:`~repro.analysis.metrics` computes the paper's derived quantities
+(load balance factor B, Mflop rates, communication fractions, error
+metrics); :mod:`~repro.analysis.tables` renders aligned text tables in
+the shape of the paper's Tables 2-5 and Figures 2-6 series.
+"""
+
+from repro.analysis.metrics import (
+    forward_error,
+    load_balance,
+    mflop_rate,
+    speedup_table,
+)
+from repro.analysis.tables import Table, format_table
+
+__all__ = [
+    "forward_error",
+    "load_balance",
+    "mflop_rate",
+    "speedup_table",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,51 @@
+"""Derived performance and accuracy metrics.
+
+All formulas are the paper's:
+
+- load balance ``B = (Σ f_i / P) / max f_i`` (§3.4);
+- Mflop rate = flops / parallel-time / 10⁶ (Tables 3-4);
+- forward error ``‖x − x*‖∞ / ‖x*‖∞`` (Figure 4's axes);
+- componentwise backward error lives in :mod:`repro.solve.refine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["forward_error", "load_balance", "mflop_rate", "speedup_table"]
+
+
+def forward_error(x, x_true):
+    """‖x − x*‖∞ / ‖x*‖∞ — the error metric of paper Figure 4."""
+    x = np.asarray(x, dtype=np.float64)
+    x_true = np.asarray(x_true, dtype=np.float64)
+    denom = float(np.abs(x_true).max(initial=0.0))
+    if denom == 0.0:
+        return float(np.abs(x).max(initial=0.0))
+    return float(np.abs(x - x_true).max()) / denom
+
+
+def load_balance(per_rank_flops):
+    """B = average workload / maximum workload ∈ (0, 1]."""
+    f = np.asarray(per_rank_flops, dtype=np.float64)
+    if f.size == 0 or f.max() <= 0:
+        return 1.0
+    return float(f.mean() / f.max())
+
+
+def mflop_rate(flops, seconds):
+    """Megaflops: flop count over parallel runtime."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e6
+
+
+def speedup_table(times_by_p):
+    """Relative speedups from a {P: time} mapping, anchored at min P."""
+    ps = sorted(times_by_p)
+    if not ps:
+        return {}
+    base_p = ps[0]
+    base_t = times_by_p[base_p]
+    return {p: (base_t / times_by_p[p] if times_by_p[p] > 0 else np.inf)
+            for p in ps}

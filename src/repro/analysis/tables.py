@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints its results as an aligned table shaped like the
+corresponding table/figure of the paper, so paper-vs-measured comparison
+is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title."""
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+
+    def add(self, *row):
+        if len(row) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(row)}")
+        self.rows.append([_fmt(c) for c in row])
+
+    def render(self):
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self):
+        return self.render()
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        a = abs(cell)
+        if cell == 0:
+            return "0"
+        if a >= 1e5 or a < 1e-3:
+            return f"{cell:.2e}"
+        if a >= 100:
+            return f"{cell:.0f}"
+        if a >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(title, columns, rows):
+    """Render rows under headers with per-column alignment."""
+    cols = [str(c) for c in columns]
+    srows = [[str(c) for c in r] for r in rows]
+    widths = [len(c) for c in cols]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "  "
+    header = sep.join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for r in srows:
+        lines.append(sep.join(c.rjust(w) for c, w in zip(r, widths)))
+    lines.append(rule)
+    return "\n".join(lines)

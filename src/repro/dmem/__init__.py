@@ -1,0 +1,44 @@
+"""Distributed-memory substrate: a virtual MPI.
+
+The paper's Section 3 experiments ran on a 512-node Cray T3E-900 under
+MPI.  This package substitutes a *simulated* distributed-memory machine
+(see DESIGN.md §2): every rank is a Python generator executing the real
+SPMD algorithm on real local data, yielding communication operations to a
+deterministic discrete-event scheduler.  Numerical results are therefore
+exact (they are bit-compared against the serial factorization in the
+tests), while per-rank clocks driven by a latency/bandwidth/flop-rate
+machine model produce the timing, load-balance and communication-fraction
+measurements of Tables 3-5.
+
+- :mod:`~repro.dmem.comm` — the message-passing interface: ``Send``,
+  ``Recv`` (with ANY_SOURCE/ANY_TAG), ``Compute`` operations;
+- :mod:`~repro.dmem.simulator` — the deterministic event loop and
+  per-rank statistics (time, flops, bytes, messages, blocked time);
+- :mod:`~repro.dmem.machine` — the T3E-class cost model;
+- :mod:`~repro.dmem.grid` — the 2-D process grid;
+- :mod:`~repro.dmem.distribute` — the supernodal 2-D block-cyclic
+  distribution and per-rank block storage (paper Figure 7).
+"""
+
+from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Send, Recv, Compute
+from repro.dmem.machine import MachineModel
+from repro.dmem.grid import ProcessGrid, best_grid
+from repro.dmem.simulator import DeadlockError, RankStats, SimulationResult, simulate
+from repro.dmem.distribute import DistributedBlocks, distribute_matrix
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Send",
+    "Recv",
+    "Compute",
+    "MachineModel",
+    "ProcessGrid",
+    "best_grid",
+    "DeadlockError",
+    "RankStats",
+    "SimulationResult",
+    "simulate",
+    "DistributedBlocks",
+    "distribute_matrix",
+]

@@ -1,0 +1,80 @@
+"""Communication operations for virtual-MPI rank programs.
+
+A rank program is a Python generator that *yields* operations and (for
+``Recv``) receives the delivered message back through ``generator.send``:
+
+    def my_rank(rank, ctx):
+        yield Compute(flops=1000)
+        yield Send(dest=1, tag=7, payload=arr, nbytes=arr.nbytes)
+        msg = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+        # msg is a Message(source, tag, payload, nbytes)
+
+Semantics (matching the paper's usage of MPI):
+
+- ``Send`` is eager/buffered (``MPI_Isend`` + guaranteed buffering): the
+  sender pays a CPU overhead and continues; the payload arrives at the
+  destination ``alpha + beta * nbytes`` later;
+- ``Recv`` blocks until a matching message is available; completion time
+  is ``max(recv-call time, arrival time)``;
+- message order is FIFO per (source, dest, tag);
+- ``ANY_SOURCE``/``ANY_TAG`` match the earliest-arriving available
+  message (deterministic tie-break), which is what the paper's
+  message-driven triangular solve relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Send", "Recv", "Compute", "Message"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Send:
+    """Eager send of ``payload`` (not copied — rank programs must not
+    mutate a buffer after sending it, same contract as MPI_Isend)."""
+
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    # how many physical messages this logical send stands for; the
+    # paper's data structure sends index[] and nzval[] separately, i.e. 2
+    count: int = 1
+
+
+@dataclass
+class Recv:
+    """Blocking receive; resumes the generator with a :class:`Message`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass
+class Compute:
+    """Advance the local clock by ``flops / rate``.
+
+    ``width`` is the block width hint for the machine model's
+    efficiency curve (small supernodes run far below peak — the paper's
+    TWOTONE observation).  ``seconds`` adds a fixed cost instead of /
+    in addition to flops (used for per-message CPU overheads)."""
+
+    flops: float = 0.0
+    width: int = 32
+    seconds: float = 0.0
+
+
+@dataclass
+class Message:
+    """A delivered message, handed back to the receiving generator."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float = field(default=0.0, compare=False)

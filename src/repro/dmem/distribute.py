@@ -1,0 +1,205 @@
+"""Supernodal 2-D block-cyclic distribution (paper Figure 7).
+
+The supernode partition defines the blocks in both dimensions; block
+(I, J) is owned by process ``(I mod nprow, J mod npcol)``.  Per process,
+the storage mirrors the paper's:
+
+- for each owned block (I, K) of L below the diagonal: the *nonzero row
+  subset* of block I (shared by all columns of supernode K) and a dense
+  ``len(rows) × width`` value array — the index[]/nzval[] pair;
+- for each owned block (K, J) of U right of the diagonal: the nonzero
+  column subset and a ``width × len(cols)`` value array;
+- diagonal blocks (K, K): the full ``width × width`` square, both
+  triangles stored ("we store zeros from U in the upper triangle of the
+  diagonal block").
+
+The symbolic information (partition, row sets, block index lists) is
+replicated on every rank, exactly as the paper runs its symbolic phase:
+"we start with a copy of the entire matrix on each processor, and run
+steps (1) and (2) independently on each processor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dmem.grid import ProcessGrid
+from repro.factor.supernodal import supernode_row_sets
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.fill import SymbolicLU
+from repro.symbolic.supernode import SupernodePartition
+
+__all__ = ["DistributedBlocks", "distribute_matrix"]
+
+
+@dataclass
+class DistributedBlocks:
+    """All ranks' local block storage plus the replicated symbolic data.
+
+    The simulator runs every rank in one process, so "per-rank storage"
+    is a list indexed by rank; each rank program only ever touches its
+    own slot plus read-only shared metadata, preserving SPMD semantics.
+
+    Attributes
+    ----------
+    grid, part:
+        Process grid and supernode partition.
+    s_rows:
+        ``s_rows[K]`` — sorted global rows below supernode K (== global
+        columns right of K, the pattern being symmetrized).
+    l_rows_by_block:
+        ``l_rows_by_block[K]`` — dict mapping block-row index I to the
+        sorted global rows of block (I, K) (a grouping of ``s_rows[K]``).
+    u_cols_by_block:
+        Same for U's block columns.
+    diag, lblk, ublk:
+        Per-rank dicts of dense value arrays:
+        ``diag[rank][K]``, ``lblk[rank][(I, K)]``, ``ublk[rank][(K, J)]``.
+    """
+
+    grid: ProcessGrid
+    part: SupernodePartition
+    supno: np.ndarray
+    s_rows: list
+    l_rows_by_block: list
+    u_cols_by_block: list
+    diag: list
+    lblk: list
+    ublk: list
+    n_tiny_pivots: int = 0
+    tiny_pivot_threshold: float = 0.0
+
+    @property
+    def nsuper(self):
+        return self.part.nsuper
+
+    @property
+    def n(self):
+        return self.part.n
+
+    def width(self, k):
+        return int(self.part.xsup[k + 1] - self.part.xsup[k])
+
+    def owner_diag(self, k):
+        return self.grid.owner(k, k)
+
+    # ------------------------------------------------------------------ #
+
+    def local_bytes(self, rank):
+        """Bytes of numeric storage on one rank (for memory accounting)."""
+        total = sum(v.nbytes for v in self.diag[rank].values())
+        total += sum(v.nbytes for v in self.lblk[rank].values())
+        total += sum(v.nbytes for v in self.ublk[rank].values())
+        return total
+
+    def gather_to_supernodal(self):
+        """Reassemble a :class:`~repro.factor.supernodal.SupernodalFactors`
+        from the distributed blocks (test/verification path)."""
+        from repro.factor.supernodal import SupernodalFactors
+
+        ns = self.nsuper
+        xsup = self.part.xsup
+        diag = []
+        below = []
+        right = []
+        for k in range(ns):
+            w = self.width(k)
+            diag.append(self.diag[self.owner_diag(k)][k].copy())
+            s = self.s_rows[k]
+            b = np.zeros((s.size, w))
+            r = np.zeros((w, s.size))
+            for i_blk, rows in self.l_rows_by_block[k].items():
+                rank = self.grid.owner(i_blk, k)
+                pos = np.searchsorted(s, rows)
+                b[pos, :] = self.lblk[rank][(i_blk, k)]
+            for j_blk, cols in self.u_cols_by_block[k].items():
+                rank = self.grid.owner(k, j_blk)
+                pos = np.searchsorted(s, cols)
+                r[:, pos] = self.ublk[rank][(k, j_blk)]
+            below.append(b)
+            right.append(r)
+        return SupernodalFactors(
+            part=self.part, s_rows=self.s_rows, diag=diag, below=below,
+            right=right, n_tiny_pivots=self.n_tiny_pivots,
+            tiny_pivot_threshold=self.tiny_pivot_threshold, flops=0)
+
+
+def distribute_matrix(a: CSCMatrix, sym: SymbolicLU,
+                      part: SupernodePartition,
+                      grid: ProcessGrid) -> DistributedBlocks:
+    """Scatter A's values into the 2-D block-cyclic supernodal storage.
+
+    The value arrays are allocated over the *static* fill pattern (zeros
+    where A has no entry), so the subsequent factorization never
+    reallocates — the property static pivoting buys (paper §3.1).
+    """
+    if not sym.symmetrized:
+        raise ValueError("the distributed layout requires the symmetrized pattern")
+    if part.n != a.ncols:
+        raise ValueError("partition does not match the matrix")
+    if np.iscomplexobj(a.nzval):
+        raise TypeError("the distributed path is real-only (float64); "
+                        "complex systems are supported by the serial "
+                        "GESPSolver")
+    ns = part.nsuper
+    xsup = part.xsup
+    supno = part.supno()
+    s_rows = supernode_row_sets(sym, part)
+
+    l_rows_by_block = []
+    u_cols_by_block = []
+    for k in range(ns):
+        s = s_rows[k]
+        groups = {}
+        if s.size:
+            blocks = supno[s]
+            start = 0
+            while start < s.size:
+                b = int(blocks[start])
+                end = start
+                while end < s.size and blocks[end] == b:
+                    end += 1
+                groups[b] = s[start:end].copy()
+                start = end
+        l_rows_by_block.append(groups)
+        # symmetrized pattern: U's column groups equal L's row groups
+        u_cols_by_block.append(groups)
+
+    p = grid.size
+    diag = [dict() for _ in range(p)]
+    lblk = [dict() for _ in range(p)]
+    ublk = [dict() for _ in range(p)]
+    for k in range(ns):
+        w = int(xsup[k + 1] - xsup[k])
+        diag[grid.owner(k, k)][k] = np.zeros((w, w))
+        for i_blk, rows in l_rows_by_block[k].items():
+            lblk[grid.owner(i_blk, k)][(i_blk, k)] = np.zeros((rows.size, w))
+        for j_blk, cols in u_cols_by_block[k].items():
+            ublk[grid.owner(k, j_blk)][(k, j_blk)] = np.zeros((w, cols.size))
+
+    # scatter A — same traversal as the serial supernodal kernel
+    for j in range(a.ncols):
+        kj = int(supno[j])
+        jloc = j - int(xsup[kj])
+        lo, hi = a.colptr[j], a.colptr[j + 1]
+        for t in range(lo, hi):
+            i = int(a.rowind[t])
+            v = a.nzval[t]
+            ki = int(supno[i])
+            if ki == kj:
+                diag[grid.owner(kj, kj)][kj][i - xsup[kj], jloc] = v
+            elif i > j:
+                rows = l_rows_by_block[kj][ki]
+                pos = int(np.searchsorted(rows, i))
+                lblk[grid.owner(ki, kj)][(ki, kj)][pos, jloc] = v
+            else:
+                cols = u_cols_by_block[ki][kj]
+                pos = int(np.searchsorted(cols, j))
+                ublk[grid.owner(ki, kj)][(ki, kj)][i - xsup[ki], pos] = v
+
+    return DistributedBlocks(
+        grid=grid, part=part, supno=supno, s_rows=s_rows,
+        l_rows_by_block=l_rows_by_block, u_cols_by_block=u_cols_by_block,
+        diag=diag, lblk=lblk, ublk=ublk)

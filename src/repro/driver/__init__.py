@@ -1,0 +1,18 @@
+"""The GESP driver: the complete Figure-1 pipeline.
+
+(1) equilibrate + permute large entries to the diagonal (MC64),
+(2) fill-reducing column ordering applied symmetrically,
+(3) LU with static pivoting and tiny-pivot replacement,
+(4) triangular solve + iterative refinement on the componentwise
+    backward error.
+
+Every step can be switched on/off through :class:`GESPOptions` — the
+paper: "we provide a flexible interface so the user is able to turn on or
+off any of these options" (some matrices need Dr/Dc off, some need the
+tiny-pivot replacement off).
+"""
+
+from repro.driver.options import GESPOptions
+from repro.driver.gesp_driver import GESPSolver, SolveReport, gesp_solve
+
+__all__ = ["GESPOptions", "GESPSolver", "SolveReport", "gesp_solve"]

@@ -1,0 +1,338 @@
+"""The GESP solver: Figure 1 of the paper, end to end.
+
+Algebra (SuperLU destination-permutation convention):
+
+    A_factored = Pc · Pr · Dr · A · Dc · Pcᵀ  =  L · U (+ tiny-pivot perturbations)
+
+so the solve of ``A x = b`` is
+
+    c[pc[pr[i]]] = dr[i] · b[i]          (apply Dr, Pr, Pc to b)
+    z = U⁻¹ L⁻¹ c                         (two triangular solves)
+    x[i] = dc[i] · z[pc[i]]              (apply Pcᵀ, Dc)
+
+with iterative refinement wrapped around the whole thing on the
+*original* A.  Per-step wall-clock timings are recorded so Figure 6's
+cost breakdown can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.driver.options import GESPOptions
+from repro.factor.gesp import GESPFactors, gesp_factor
+from repro.scaling.equilibrate import equilibrate
+from repro.scaling.mc64 import mc64
+from repro.solve.errbound import forward_error_bound
+from repro.solve.refine import RefinementResult, iterative_refinement
+from repro.solve.sherman import ShermanMorrisonSolver
+from repro.solve.triangular import (
+    solve_lower_csc,
+    solve_lower_t_csc,
+    solve_upper_csc,
+    solve_upper_t_csc,
+)
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import permute_rows, permute_symmetric, scale_cols, scale_rows
+from repro.symbolic.fill import symbolic_lu
+
+__all__ = ["GESPSolver", "SolveReport", "gesp_solve"]
+
+
+@dataclass
+class SolveReport:
+    """Everything a benchmark wants to know about one solve."""
+
+    x: np.ndarray
+    berr: float
+    refine_steps: int
+    berr_history: list = field(default_factory=list)
+    converged: bool = True
+    forward_error_estimate: float | None = None
+
+
+class GESPSolver:
+    """Factor once, solve many times — the GESP pipeline as an object.
+
+    Parameters
+    ----------
+    a:
+        The square sparse system matrix (CSC).
+    options:
+        A :class:`~repro.driver.options.GESPOptions`; paper defaults when
+        omitted.
+
+    Attributes
+    ----------
+    factors:
+        The :class:`~repro.factor.gesp.GESPFactors` of the transformed
+        matrix.
+    perm_r, perm_c, dr, dc:
+        The step-(1)/(2) transforms (destination-convention permutations
+        and scale vectors).
+    timings:
+        Dict of per-phase seconds: ``equil``, ``rowperm``, ``colperm``,
+        ``symbolic``, ``factor`` — the raw material of Figure 6.
+    """
+
+    def __init__(self, a: CSCMatrix, options: GESPOptions | None = None):
+        if a.nrows != a.ncols:
+            raise ValueError("GESPSolver requires a square matrix")
+        self.a = a
+        self.options = (options or GESPOptions()).validate()
+        self.timings = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+
+    def _build(self):
+        opts = self.options
+        n = self.a.ncols
+        a = self.a
+
+        t0 = time.perf_counter()
+        if opts.equilibrate:
+            eq = equilibrate(a)
+            dr, dc = eq.dr.copy(), eq.dc.copy()
+            a = eq.apply(a)
+        else:
+            dr, dc = np.ones(n), np.ones(n)
+        self.timings["equil"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if opts.row_perm != "none":
+            job = {"mc64_product": "product",
+                   "mc64_bottleneck": "bottleneck",
+                   "mc64_cardinality": "cardinality"}[opts.row_perm]
+            res = mc64(a, job=job,
+                       scale=(opts.scale_diagonal and job == "product"))
+            perm_r = res.perm_r
+            if opts.scale_diagonal and job == "product":
+                dr *= res.dr
+                dc *= res.dc
+                a = scale_cols(scale_rows(a, res.dr), res.dc)
+            a = permute_rows(a, perm_r)
+        else:
+            perm_r = np.arange(n, dtype=np.int64)
+        self.timings["rowperm"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if opts.col_perm != "natural":
+            from repro.ordering.colamd import column_ordering
+
+            perm_c = column_ordering(a, method=opts.col_perm)
+            a = permute_symmetric(a, perm_c)
+        else:
+            perm_c = np.arange(n, dtype=np.int64)
+        self.timings["colperm"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sym = symbolic_lu(a, method=opts.symbolic_method)
+        self.timings["symbolic"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if opts.diag_block_pivoting > 0.0:
+            # §5 extension: mixed static / within-diagonal-block pivoting.
+            # Requires the symmetrized (supernodal) pattern; the resulting
+            # factors satisfy P·A_factored = L·U with block-diagonal P,
+            # absorbed inside BlockPivotedFactors.solve.
+            from repro.factor.blockpivot import supernodal_factor_block_pivoting
+            from repro.symbolic.fill import symbolic_lu_symmetrized
+
+            sym_s = sym if sym.symmetrized else symbolic_lu_symmetrized(a)
+            self.factors = supernodal_factor_block_pivoting(
+                a, sym=sym_s,
+                pivot_threshold=opts.diag_block_pivoting,
+                replace_tiny_pivots=opts.replace_tiny_pivots,
+                tiny_pivot_scale=opts.tiny_pivot_scale)
+        else:
+            policy = ("column_max" if opts.aggressive_pivot_replacement
+                      else "sqrt_eps")
+            self.factors = gesp_factor(
+                a, sym=sym,
+                replace_tiny_pivots=opts.replace_tiny_pivots,
+                tiny_pivot_scale=opts.tiny_pivot_scale,
+                pivot_policy=policy)
+        self.timings["factor"] = time.perf_counter() - t0
+
+        self.perm_r = perm_r
+        self.perm_c = perm_c
+        self.dr = dr
+        self.dc = dc
+        self.symbolic = sym
+        self.a_factored = a
+
+        # Sherman-Morrison-Woodbury wrapper when the aggressive policy
+        # actually perturbed something
+        self._smw = None
+        if opts.aggressive_pivot_replacement and self.factors.n_tiny_pivots:
+            self._smw = ShermanMorrisonSolver(
+                n, self.factors.solve,
+                self.factors.perturbed_columns, self.factors.pivot_deltas)
+
+    # ------------------------------------------------------------------ #
+
+    def _solve_factored(self, c):
+        """z with (L U or SMW-corrected A_factored) z = c."""
+        if self._smw is not None:
+            return self._smw.solve(c)
+        return self.factors.solve(c)
+
+    def solve_once(self, b):
+        """One direct solve through the factors (no refinement)."""
+        b = np.asarray(b)
+        n = self.a.ncols
+        c = np.empty(n, dtype=np.result_type(self.a.nzval, b, np.float64))
+        c[self.perm_c[self.perm_r]] = self.dr * b
+        z = self._solve_factored(c)
+        return self.dc * z[self.perm_c]
+
+    def solve(self, b, refine: bool | None = None,
+              forward_error: bool = False) -> SolveReport:
+        """Solve ``A x = b`` with (by default) iterative refinement.
+
+        With ``forward_error=True`` also runs the Hager-Higham estimator —
+        "by far the most expensive step after factorization ... we do this
+        only when the user asks for it."
+        """
+        opts = self.options
+        do_refine = opts.refine if refine is None else refine
+        b = np.asarray(b)
+        if do_refine:
+            res: RefinementResult = iterative_refinement(
+                self.a, self.solve_once, b,
+                max_steps=opts.refine_max_steps,
+                eps=opts.refine_eps,
+                stagnation_factor=opts.refine_stagnation,
+                extra_precision=opts.extra_precision_residual)
+            report = SolveReport(x=res.x, berr=res.berr,
+                                 refine_steps=res.steps,
+                                 berr_history=res.berr_history,
+                                 converged=res.converged)
+        else:
+            from repro.solve.refine import componentwise_backward_error
+
+            x = self.solve_once(b)
+            report = SolveReport(
+                x=x,
+                berr=componentwise_backward_error(self.a, x, b),
+                refine_steps=0, berr_history=[], converged=True)
+        if forward_error:
+            report.forward_error_estimate = forward_error_bound(
+                self.a, self.solve_once, self.solve_transpose, report.x, b)
+        return report
+
+    def solve_multi(self, b_block, refine: bool | None = None,
+                    max_steps: int | None = None):
+        """Solve ``A X = B`` for a block of right-hand sides (n × nrhs).
+
+        Uses the blocked triangular kernels (one sweep over the factors
+        for all columns), with optional joint iterative refinement on the
+        worst column's componentwise backward error — the multiple-RHS
+        workload the paper's §5 discussion of solve algorithms anticipates.
+        Returns ``(X, berr, steps)``.  Not available with diagonal-block
+        pivoting (the packed supernodal factors have their own solve).
+        """
+        from repro.solve.refine import componentwise_backward_error
+        from repro.solve.triangular import (
+            solve_lower_csc_multi,
+            solve_upper_csc_multi,
+        )
+
+        if self.options.diag_block_pivoting > 0.0:
+            raise NotImplementedError(
+                "multi-RHS solves are not wired for diagonal-block pivoting")
+        b_block = np.asarray(b_block)
+        if b_block.ndim != 2 or b_block.shape[0] != self.a.ncols:
+            raise ValueError("b_block must be (n, nrhs)")
+        opts = self.options
+        do_refine = opts.refine if refine is None else refine
+        cap = opts.refine_max_steps if max_steps is None else max_steps
+
+        def direct(bb):
+            if self._smw is not None:
+                # the Woodbury correction is defined per vector; the rank
+                # is tiny so per-column solves cost little extra
+                return np.column_stack([self.solve_once(bb[:, t])
+                                        for t in range(bb.shape[1])])
+            c = np.empty(bb.shape,
+                         dtype=np.result_type(self.a.nzval, bb, np.float64))
+            c[self.perm_c[self.perm_r], :] = self.dr[:, None] * bb
+            z = solve_upper_csc_multi(
+                self.factors.u,
+                solve_lower_csc_multi(self.factors.l, c, unit_diagonal=True))
+            return self.dc[:, None] * z[self.perm_c, :]
+
+        x = direct(b_block)
+
+        def worst_berr(xx):
+            return max(componentwise_backward_error(
+                self.a, xx[:, t], b_block[:, t])
+                for t in range(b_block.shape[1]))
+
+        berr = worst_berr(x)
+        steps = 0
+        if do_refine:
+            from repro.sparse.ops import spmv
+
+            prev = berr
+            while berr > opts.refine_eps and steps < cap:
+                r = np.column_stack([
+                    b_block[:, t] - spmv(self.a, x[:, t])
+                    for t in range(b_block.shape[1])])
+                x = x + direct(r)
+                steps += 1
+                berr = worst_berr(x)
+                if berr > prev / opts.refine_stagnation:
+                    break
+                prev = berr
+        return x, berr, steps
+
+    def solve_transpose(self, b):
+        """x with ``Aᵀ x = b`` through the same factors.
+
+        From ``A⁻¹ = Dc Pcᵀ U⁻¹ L⁻¹ Pc Pr Dr`` (the forward identity),
+        transposing gives ``A⁻ᵀ = Dr Prᵀ Pcᵀ L⁻ᵀ U⁻ᵀ Pc Dc``.  With a
+        destination permutation ``p``, ``(P v)[p[i]] = v[i]`` and
+        ``(Pᵀ v)[i] = v[p[i]]``.  (When aggressive pivot replacement put a
+        Woodbury correction in front, this uses the *perturbed* factors —
+        acceptable for its only consumer, the condition estimator.)
+        """
+        if self.options.diag_block_pivoting > 0.0:
+            raise NotImplementedError(
+                "transpose solves are not available with diagonal-block "
+                "pivoting (the block-local row permutations would need a "
+                "transposed substitution path)")
+        b = np.asarray(b)
+        c = np.empty(b.shape, dtype=np.result_type(self.a.nzval, b, np.float64))
+        c[self.perm_c] = self.dc * b                 # Pc · (Dc b)
+        y = solve_upper_t_csc(self.factors.u, c)     # U⁻ᵀ
+        y = solve_lower_t_csc(self.factors.l, y, unit_diagonal=True)  # L⁻ᵀ
+        return self.dr * y[self.perm_c[self.perm_r]]  # Prᵀ Pcᵀ, then Dr
+
+    def condest(self):
+        """Hager-Higham estimate of ``κ₁(A) = ‖A‖₁ ‖A⁻¹‖₁`` through the
+        factors (the LAPACK ``xGECON`` recipe; requires transpose solves,
+        so unavailable with diagonal-block pivoting)."""
+        from repro.solve.errbound import condest_1norm
+        from repro.sparse.ops import norm1
+
+        n = self.a.ncols
+        inv_norm = condest_1norm(n, self.solve_once, self.solve_transpose)
+        return norm1(self.a) * inv_norm
+
+    def pivot_growth(self):
+        """Reciprocal pivot growth of the factored matrix."""
+        if self.options.diag_block_pivoting > 0.0:
+            raise NotImplementedError(
+                "pivot growth reporting is only wired for the column "
+                "kernel; use BlockPivotedFactors.max_l_magnitude instead")
+        return self.factors.pivot_growth(self.a_factored)
+
+
+def gesp_solve(a: CSCMatrix, b, options: GESPOptions | None = None) -> SolveReport:
+    """One-shot convenience wrapper: factor + refine-solve."""
+    return GESPSolver(a, options).solve(b)

@@ -1,0 +1,44 @@
+"""Serial numeric factorization kernels.
+
+- :mod:`~repro.factor.gesp` — LU with *static* pivoting on the
+  precomputed fill pattern (GESP step (3)): no row exchanges, tiny pivots
+  replaced by ``±√ε·‖A‖`` (a half-precision perturbation corrected later
+  by iterative refinement);
+- :mod:`~repro.factor.gepp` — Gilbert-Peierls left-looking LU with
+  partial pivoting and per-column symbolic DFS: the SuperLU-style GEPP
+  baseline that Figure 4 compares against;
+- :mod:`~repro.factor.supernodal` — dense block kernels over the
+  supernode partition (panel factorization, block row solve, GEMM
+  update); the serial reference implementation of the algorithm the
+  distributed code runs, and the kernels it reuses.
+"""
+
+from repro.factor.gesp import GESPFactors, gesp_factor
+from repro.factor.gepp import GEPPFactors, gepp_factor
+from repro.factor.supernodal import (
+    SupernodalFactors,
+    supernodal_factor,
+    factor_diagonal_block,
+    panel_solve_l,
+    panel_solve_u,
+)
+from repro.factor.blockpivot import (
+    BlockPivotedFactors,
+    factor_diagonal_block_pivoted,
+    supernodal_factor_block_pivoting,
+)
+
+__all__ = [
+    "GESPFactors",
+    "gesp_factor",
+    "GEPPFactors",
+    "gepp_factor",
+    "SupernodalFactors",
+    "supernodal_factor",
+    "factor_diagonal_block",
+    "panel_solve_l",
+    "panel_solve_u",
+    "BlockPivotedFactors",
+    "factor_diagonal_block_pivoted",
+    "supernodal_factor_block_pivoting",
+]

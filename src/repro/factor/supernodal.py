@@ -1,0 +1,358 @@
+"""Supernodal blocked right-looking LU with static pivoting.
+
+This is the serial reference implementation of the algorithm the
+distributed code (:mod:`repro.pdgstrf`) runs, organized exactly like
+paper Figure 8:
+
+    for K = 1 .. N:
+      (1) factor the block column  L(K:N, K)
+      (2) triangular-solve the block row  U(K, K+1:N)
+      (3) rank-b update  A(K+1:N, K+1:N) -= L(K+1:N,K) U(K,K+1:N)
+
+It requires the *symmetrized* symbolic pattern (A+Aᵀ analysis): then all
+columns of a supernode share one below-diagonal row set ``S_K``, all rows
+share the same right-of-diagonal column set (also ``S_K``), and the whole
+supernode packs into three dense arrays — the diagonal block ``D_K``
+(both triangles stored, as the paper notes), the below panel ``B_K``
+(|S_K| × w) and the right panel ``R_K`` (w × |S_K|).  The dense-kernel
+structure is what gives supernodal codes their Mflop rate; TWOTONE's 2.4-
+column average supernode is why the paper's Table 5 shows it performing
+poorly.
+
+The three block kernels (:func:`factor_diagonal_block`,
+:func:`panel_solve_l`, :func:`panel_solve_u`) are shared with the
+distributed factorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import norm1
+from repro.symbolic.fill import SymbolicLU, symbolic_lu_symmetrized
+from repro.symbolic.supernode import SupernodePartition, block_partition
+
+__all__ = [
+    "SupernodalFactors",
+    "supernodal_factor",
+    "factor_diagonal_block",
+    "panel_solve_l",
+    "panel_solve_u",
+    "supernode_row_sets",
+]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+# --------------------------------------------------------------------- #
+# dense block kernels (shared with pdgstrf)
+# --------------------------------------------------------------------- #
+
+def factor_diagonal_block(d, thresh):
+    """In-place LU without pivoting of a dense diagonal block.
+
+    ``d`` becomes the packed factor: strictly-lower part holds L (unit
+    diagonal implicit), upper triangle holds U.  Pivots smaller than
+    ``thresh`` are replaced by ``±thresh`` (GESP step (3)); pass
+    ``thresh=0`` to disable replacement (then a zero pivot raises).
+
+    Returns the list of local pivot indices that were replaced.
+    """
+    w = d.shape[0]
+    replaced = []
+    for k in range(w):
+        p = d[k, k]
+        if thresh > 0.0:
+            if abs(p) < thresh:
+                p = thresh if p >= 0.0 else -thresh
+                d[k, k] = p
+                replaced.append(k)
+        elif p == 0.0:
+            raise ZeroDivisionError("zero pivot in diagonal block")
+        if k + 1 < w:
+            d[k + 1:, k] /= p
+            d[k + 1:, k + 1:] -= np.outer(d[k + 1:, k], d[k, k + 1:])
+    return replaced
+
+
+def panel_solve_l(d, b):
+    """L panel: solve ``X · U_kk = B`` in place (B: rows × w).
+
+    ``d`` is the packed diagonal factor; only its upper triangle (U_kk)
+    is referenced.  Column-sweep substitution, vectorized over rows.
+    """
+    w = d.shape[0]
+    for k in range(w):
+        if k:
+            b[:, k] -= b[:, :k] @ d[:k, k]
+        b[:, k] /= d[k, k]
+    return b
+
+
+def panel_solve_u(d, r):
+    """U panel: solve ``L_kk · X = R`` in place (R: w × cols).
+
+    Only the strictly-lower triangle of ``d`` (unit L_kk) is referenced.
+    """
+    w = d.shape[0]
+    for k in range(1, w):
+        r[k, :] -= d[k, :k] @ r[:k, :]
+    return r
+
+
+# --------------------------------------------------------------------- #
+# serial supernodal factorization
+# --------------------------------------------------------------------- #
+
+def supernode_row_sets(sym: SymbolicLU, part: SupernodePartition):
+    """``S_K`` for every supernode: the sorted global rows strictly below
+    the supernode that appear in any of its columns' L patterns.  With
+    the symmetrized pattern this equals the right-of-diagonal column set
+    of the supernode's U block row."""
+    ns = part.nsuper
+    out = []
+    for k in range(ns):
+        lo_col, hi_col = int(part.xsup[k]), int(part.xsup[k + 1])
+        rows = set()
+        for j in range(lo_col, hi_col):
+            lo, hi = sym.l_colptr[j], sym.l_colptr[j + 1]
+            r = sym.l_rowind[lo:hi]
+            rows.update(r[r >= hi_col].tolist())
+        out.append(np.array(sorted(rows), dtype=np.int64))
+    return out
+
+
+@dataclass
+class SupernodalFactors:
+    """Packed supernodal factors.
+
+    Per supernode ``K`` of width ``w_K`` with below/right index set
+    ``s_rows[K]``:
+
+    - ``diag[K]`` — (w×w) packed diagonal factor (L unit-lower + U upper);
+    - ``below[K]`` — (|S|×w) panel of L(S_K, K);
+    - ``right[K]`` — (w×|S|) panel of U(K, S_K).
+    """
+
+    part: SupernodePartition
+    s_rows: list
+    diag: list
+    below: list
+    right: list
+    n_tiny_pivots: int
+    tiny_pivot_threshold: float
+    flops: int
+
+    @property
+    def n(self):
+        return self.part.n
+
+    def to_csc_factors(self):
+        """Expand to plain CSC (L unit-lower incl. diagonal, U upper) for
+        interoperability with the serial solvers — explicit zeros of the
+        dense blocks are dropped."""
+        n = self.n
+        from repro.sparse.coo import COOMatrix
+
+        lr, lc, lv = [], [], []
+        ur, uc, uv = [], [], []
+        for k in range(self.part.nsuper):
+            lo = int(self.part.xsup[k])
+            w = int(self.part.xsup[k + 1]) - lo
+            d = self.diag[k]
+            for jj in range(w):
+                j = lo + jj
+                lr.append(j); lc.append(j); lv.append(1.0)
+                for ii in range(jj + 1, w):
+                    if d[ii, jj] != 0.0:
+                        lr.append(lo + ii); lc.append(j); lv.append(d[ii, jj])
+                for ii in range(jj + 1):
+                    if d[ii, jj] != 0.0 or ii == jj:
+                        ur.append(lo + ii); uc.append(j); uv.append(d[ii, jj])
+            s = self.s_rows[k]
+            b = self.below[k]
+            r = self.right[k]
+            for t, i in enumerate(s):
+                for jj in range(w):
+                    if b[t, jj] != 0.0:
+                        lr.append(int(i)); lc.append(lo + jj); lv.append(b[t, jj])
+                    if r[jj, t] != 0.0:
+                        ur.append(lo + jj); uc.append(int(i)); uv.append(r[jj, t])
+        l = CSCMatrix.from_coo(COOMatrix(n, n, np.array(lr), np.array(lc),
+                                         np.array(lv)), sum_duplicates=False)
+        u = CSCMatrix.from_coo(COOMatrix(n, n, np.array(ur), np.array(uc),
+                                         np.array(uv)), sum_duplicates=False)
+        return l, u
+
+    def solve(self, b):
+        """x with L U x = b, block forward then block back substitution."""
+        x = np.array(b, dtype=np.float64, copy=True)
+        ns = self.part.nsuper
+        xsup = self.part.xsup
+        # forward: L y = b
+        for k in range(ns):
+            lo, hi = int(xsup[k]), int(xsup[k + 1])
+            d = self.diag[k]
+            w = hi - lo
+            for jj in range(w):
+                if jj:
+                    x[lo + jj] -= d[jj, :jj] @ x[lo:lo + jj]
+            s = self.s_rows[k]
+            if s.size:
+                x[s] -= self.below[k] @ x[lo:hi]
+        # back: U x = y
+        for k in range(ns - 1, -1, -1):
+            lo, hi = int(xsup[k]), int(xsup[k + 1])
+            d = self.diag[k]
+            s = self.s_rows[k]
+            rhs = x[lo:hi]
+            if s.size:
+                rhs = rhs - self.right[k] @ x[s]
+            w = hi - lo
+            for jj in range(w - 1, -1, -1):
+                v = rhs[jj]
+                if jj + 1 < w:
+                    v = v - d[jj, jj + 1:] @ x[lo + jj + 1:hi]
+                x[lo + jj] = v / d[jj, jj]
+        return x
+
+
+def supernodal_factor(a: CSCMatrix,
+                      sym: SymbolicLU | None = None,
+                      part: SupernodePartition | None = None,
+                      max_block_size: int = 24,
+                      replace_tiny_pivots: bool = True,
+                      tiny_pivot_scale: float | None = None) -> SupernodalFactors:
+    """Blocked right-looking GESP factorization (paper Figure 8, serial).
+
+    Numerically equivalent to :func:`repro.factor.gesp.gesp_factor` run on
+    the symmetrized pattern — the tests assert exactly that.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("supernodal_factor requires a square matrix")
+    if sym is None:
+        sym = symbolic_lu_symmetrized(a)
+    if not sym.symmetrized:
+        raise ValueError("supernodal_factor requires the symmetrized pattern")
+    if part is None:
+        part = block_partition(sym, max_size=max_block_size)
+    if tiny_pivot_scale is None:
+        tiny_pivot_scale = np.sqrt(_EPS)
+    anorm = norm1(a)
+    thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
+        if replace_tiny_pivots else 0.0
+
+    n = a.ncols
+    ns = part.nsuper
+    xsup = part.xsup
+    supno = part.supno()
+    s_rows = supernode_row_sets(sym, part)
+
+    # position of global row i inside s_rows[K]: computed on demand with
+    # searchsorted (s_rows are sorted)
+    diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2) for k in range(ns)]
+    below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])))
+             for k in range(ns)]
+    right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size))
+             for k in range(ns)]
+
+    # ---- scatter A into the block storage ----
+    for j in range(n):
+        kj = supno[j]
+        jloc = j - xsup[kj]
+        lo, hi = a.colptr[j], a.colptr[j + 1]
+        for t in range(lo, hi):
+            i = int(a.rowind[t])
+            v = a.nzval[t]
+            ki = supno[i]
+            if ki == kj:
+                diag[kj][i - xsup[kj], jloc] = v
+            elif i > j:  # L part: row i below supernode kj
+                pos = int(np.searchsorted(s_rows[kj], i))
+                below[kj][pos, jloc] = v
+            else:        # U part: column j right of supernode ki
+                pos = int(np.searchsorted(s_rows[ki], j))
+                right[ki][i - xsup[ki], pos] = v
+
+    # ---- right-looking elimination over supernodes ----
+    n_tiny = 0
+    flops = 0
+    for k in range(ns):
+        w = int(xsup[k + 1] - xsup[k])
+        d = diag[k]
+        replaced = factor_diagonal_block(d, thresh)
+        n_tiny += len(replaced)
+        flops += 2 * w ** 3 // 3
+        s = s_rows[k]
+        if s.size == 0:
+            continue
+        b = panel_solve_l(d, below[k])         # step (1): L(K+1:N, K)
+        r = panel_solve_u(d, right[k])         # step (2): U(K, K+1:N)
+        flops += 2 * (b.shape[0] * w * w) // 1 + 2 * (w * w * r.shape[1])
+        # step (3): rank-w update of the trailing blocks
+        upd = b @ r                            # |S| × |S| dense GEMM
+        flops += 2 * b.shape[0] * w * r.shape[1]
+        # scatter-subtract into owner supernodes, column-supernode at a time
+        tgt_sup = supno[s]
+        start = 0
+        while start < s.size:
+            j_sup = int(tgt_sup[start])
+            end = start
+            while end < s.size and tgt_sup[end] == j_sup:
+                end += 1
+            cols = s[start:end]                # global columns in supernode j_sup
+            cols_loc = cols - xsup[j_sup]
+            # rows inside the diagonal block of j_sup
+            in_diag = (s >= xsup[j_sup]) & (s < xsup[j_sup + 1])
+            if np.any(in_diag):
+                rows_loc = s[in_diag] - xsup[j_sup]
+                diag[j_sup][np.ix_(rows_loc, cols_loc)] -= upd[np.ix_(
+                    np.nonzero(in_diag)[0], np.arange(start, end))]
+            # rows below supernode j_sup -> its below panel.  With relaxed
+            # (amalgamated) supernodes a row of S_K may be absent from
+            # S_{j_sup}; the corresponding product entries are exactly zero
+            # (every term has an explicitly-zero factor), so they are
+            # masked out rather than scattered.
+            below_mask = s >= xsup[j_sup + 1]
+            if np.any(below_mask):
+                rr = s[below_mask]
+                tgt_rows = s_rows[j_sup]
+                pos = np.searchsorted(tgt_rows, rr)
+                valid = (pos < tgt_rows.size)
+                valid[valid] = tgt_rows[pos[valid]] == rr[valid]
+                if np.any(valid):
+                    src_rows = np.nonzero(below_mask)[0][valid]
+                    below[j_sup][np.ix_(pos[valid], cols_loc)] -= upd[np.ix_(
+                        src_rows, np.arange(start, end))]
+            # rows *above* supernode j_sup contribute to U rows of their
+            # own supernodes: U(row-supernode, cols) — handled symmetrically
+            above_mask = s < xsup[j_sup]
+            if np.any(above_mask):
+                rows_above = s[above_mask]
+                row_sups = supno[rows_above]
+                a_start = 0
+                idx_above = np.nonzero(above_mask)[0]
+                while a_start < rows_above.size:
+                    i_sup = int(row_sups[a_start])
+                    a_end = a_start
+                    while a_end < rows_above.size and row_sups[a_end] == i_sup:
+                        a_end += 1
+                    rloc = rows_above[a_start:a_end] - xsup[i_sup]
+                    tgt_cols = s_rows[i_sup]
+                    cpos = np.searchsorted(tgt_cols, cols)
+                    cvalid = cpos < tgt_cols.size
+                    cvalid[cvalid] = tgt_cols[cpos[cvalid]] == cols[cvalid]
+                    if np.any(cvalid):
+                        src_cols = np.arange(start, end)[cvalid]
+                        right[i_sup][np.ix_(rloc, cpos[cvalid])] -= upd[np.ix_(
+                            idx_above[a_start:a_end], src_cols)]
+                    a_start = a_end
+            start = end
+
+    return SupernodalFactors(part=part, s_rows=s_rows, diag=diag,
+                             below=below, right=right,
+                             n_tiny_pivots=n_tiny,
+                             tiny_pivot_threshold=thresh, flops=int(flops))

@@ -1,0 +1,31 @@
+"""Iterative methods with static-pivoting preprocessing.
+
+The paper's related work (§6, Duff & Koster [13]) reports that the same
+"permute large entries to the diagonal" preprocessing that powers GESP
+also transforms the behaviour of preconditioned iterative methods:
+
+    "They experimented with some iterative methods such as GMRES,
+    BiCGSTAB and QMR using ILU preconditioners.  The convergence rate is
+    substantially improved in many cases when the initial permutation is
+    employed."
+
+This package reproduces that experiment: a zero-fill incomplete
+factorization (:mod:`~repro.iterative.ilu`), restarted GMRES and
+BiCGSTAB (:mod:`~repro.iterative.krylov`), and a driver that optionally
+applies the MC64 permutation/scaling before preconditioning
+(:mod:`~repro.iterative.precon_driver`).
+"""
+
+from repro.iterative.ilu import ILU0Factors, ilu0
+from repro.iterative.krylov import KrylovResult, bicgstab, gmres, tfqmr
+from repro.iterative.precon_driver import PreconditionedSolver
+
+__all__ = [
+    "ILU0Factors",
+    "ilu0",
+    "KrylovResult",
+    "gmres",
+    "bicgstab",
+    "tfqmr",
+    "PreconditionedSolver",
+]

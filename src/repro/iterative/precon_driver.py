@@ -1,0 +1,99 @@
+"""ILU-preconditioned Krylov solves with MC64 preprocessing.
+
+The experiment of Duff & Koster that the paper's related work quotes:
+permuting large entries to the diagonal (and scaling) before building an
+ILU preconditioner "substantially improves" the convergence of GMRES /
+BiCGSTAB on hard unsymmetric systems.  This driver runs the Krylov
+iteration on the *transformed* system
+
+    (Pr Dr A Dc) (Dc⁻¹ x) = Pr Dr b
+
+with an ILU(0) preconditioner built from the transformed matrix, then
+maps the solution back — the iterative-method twin of GESP's steps
+(1)+(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.iterative.ilu import ilu0
+from repro.iterative.krylov import KrylovResult, bicgstab, gmres, tfqmr
+from repro.scaling.equilibrate import equilibrate
+from repro.scaling.mc64 import mc64
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import permute_rows, scale_cols, scale_rows
+
+__all__ = ["PreconditionedSolver"]
+
+
+@dataclass
+class PreconditionedSolver:
+    """ILU(0)-preconditioned Krylov solver with optional MC64 step (1).
+
+    Parameters
+    ----------
+    a:
+        The system matrix.
+    mc64_permute:
+        Apply the max-product matching permutation + Duff-Koster scaling
+        before building the preconditioner (the experiment's on/off knob).
+    equilibrate_first:
+        DGEEQU equilibration before matching (as in GESP).
+    """
+
+    a: CSCMatrix
+    mc64_permute: bool = True
+    equilibrate_first: bool = True
+
+    def __post_init__(self):
+        if self.a.nrows != self.a.ncols:
+            raise ValueError("PreconditionedSolver requires a square matrix")
+        n = self.a.ncols
+        a = self.a
+        dr, dc = np.ones(n), np.ones(n)
+        if self.equilibrate_first:
+            eq = equilibrate(a)
+            dr, dc = eq.dr.copy(), eq.dc.copy()
+            a = eq.apply(a)
+        if self.mc64_permute:
+            res = mc64(a, job="product", scale=True)
+            dr *= res.dr
+            dc *= res.dc
+            a = permute_rows(scale_cols(scale_rows(a, res.dr), res.dc),
+                             res.perm_r)
+            self.perm_r = res.perm_r
+        else:
+            self.perm_r = np.arange(n, dtype=np.int64)
+        self.dr = dr
+        self.dc = dc
+        self.a_transformed = a
+        self.ilu = ilu0(a)
+
+    def _rhs(self, b):
+        b = np.asarray(b)
+        c = np.empty(b.shape,
+                     dtype=np.result_type(self.a.nzval, b, np.float64))
+        c[self.perm_r] = self.dr * b
+        return c
+
+    def solve(self, b, method: str = "gmres", tol: float = 1e-10,
+              max_iter: int = 500, restart: int = 30) -> KrylovResult:
+        """Solve ``A x = b``; returns the Krylov result with ``x`` mapped
+        back to original coordinates."""
+        c = self._rhs(b)
+        if method == "gmres":
+            res = gmres(self.a_transformed, c, m=restart, tol=tol,
+                        max_iter=max_iter, precondition=self.ilu.solve)
+        elif method == "bicgstab":
+            res = bicgstab(self.a_transformed, c, tol=tol,
+                           max_iter=max_iter, precondition=self.ilu.solve)
+        elif method == "tfqmr":
+            res = tfqmr(self.a_transformed, c, tol=tol,
+                        max_iter=max_iter, precondition=self.ilu.solve)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        res.x = self.dc * res.x
+        return res

@@ -1,0 +1,60 @@
+"""Synthetic test matrices matching the paper's application domains.
+
+The paper evaluates GESP on 53 matrices from the Harwell-Boeing and Davis
+collections (Table 1) plus 8 larger ones for the distributed experiments
+(Table 2).  Those collections are not redistributable here, so this
+package generates *analogs*: matrices from the same application domains
+(fluid flow, circuit and device simulation, finite elements, chemical
+process engineering, petroleum reservoir simulation, optimization, ...),
+constructed so the properties that matter to pivoting are controlled
+explicitly — zero or weak diagonals, structural and numerical asymmetry,
+supernode sizes, fill behaviour.
+
+Real collection files can be substituted through
+:mod:`repro.sparse.io`'s Harwell-Boeing / Matrix Market readers.
+"""
+
+from repro.matrices.generators import (
+    convection_diffusion_2d,
+    magnetohydrodynamics_2d,
+    structural_frame_3d,
+    markov_chain_transition,
+    anisotropic_poisson_3d,
+    fem_stiffness_2d,
+    saddle_point_kkt,
+    circuit_mna,
+    device_simulation_2d,
+    chemical_process,
+    reservoir_7pt,
+    random_unsymmetric,
+    twotone_like,
+)
+from repro.matrices.testbed import (
+    TestMatrix,
+    testbed_53,
+    large_8,
+    matrix_by_name,
+)
+from repro.matrices.stats import matrix_stats, MatrixStats
+
+__all__ = [
+    "convection_diffusion_2d",
+    "magnetohydrodynamics_2d",
+    "structural_frame_3d",
+    "markov_chain_transition",
+    "anisotropic_poisson_3d",
+    "fem_stiffness_2d",
+    "saddle_point_kkt",
+    "circuit_mna",
+    "device_simulation_2d",
+    "chemical_process",
+    "reservoir_7pt",
+    "random_unsymmetric",
+    "twotone_like",
+    "TestMatrix",
+    "testbed_53",
+    "large_8",
+    "matrix_by_name",
+    "matrix_stats",
+    "MatrixStats",
+]

@@ -1,0 +1,531 @@
+"""Domain-specific sparse matrix generators.
+
+Each generator documents which paper-testbed family it stands in for and
+which pivoting-relevant property it controls.  All are deterministic
+given ``seed`` and emit :class:`~repro.sparse.csc.CSCMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+__all__ = [
+    "convection_diffusion_2d",
+    "magnetohydrodynamics_2d",
+    "structural_frame_3d",
+    "markov_chain_transition",
+    "anisotropic_poisson_3d",
+    "fem_stiffness_2d",
+    "saddle_point_kkt",
+    "circuit_mna",
+    "device_simulation_2d",
+    "chemical_process",
+    "reservoir_7pt",
+    "random_unsymmetric",
+    "twotone_like",
+]
+
+
+def _coo(n, entries):
+    r = np.array([e[0] for e in entries], dtype=np.int64)
+    c = np.array([e[1] for e in entries], dtype=np.int64)
+    v = np.array([e[2] for e in entries], dtype=np.float64)
+    return CSCMatrix.from_coo(COOMatrix(n, n, r, c, v))
+
+
+# --------------------------------------------------------------------- #
+
+def convection_diffusion_2d(nx: int, ny: int | None = None,
+                            peclet: float = 10.0, seed: int = 0) -> CSCMatrix:
+    """Upwinded 5-point convection-diffusion on an nx×ny grid.
+
+    Stands in for the CFD matrices (AF23560, GOODWIN, ...): structurally
+    symmetric, numerically unsymmetric, diagonally strong but not
+    dominant for large ``peclet`` — GEPP and GESP both work, errors
+    differ subtly.
+    """
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+    # smoothly varying wind field
+    bx = peclet * np.cos(2 * np.pi * rng.random())
+    by = peclet * np.sin(2 * np.pi * rng.random())
+    entries = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            diag = 4.0
+            # x-direction: diffusion 1, convection bx (first-order upwind)
+            for (ii, jj, conv) in ((i - 1, j, bx), (i + 1, j, -bx),
+                                   (i, j - 1, by), (i, j + 1, -by)):
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    off = -1.0
+                    if conv > 0:
+                        off -= conv / max(nx, ny)
+                        diag += conv / max(nx, ny)
+                    entries.append((v, ii * ny + jj, off))
+            # local variation keeps NumSym below 1
+            entries.append((v, v, diag * (1.0 + 0.01 * rng.standard_normal())))
+    return _coo(n, entries)
+
+
+def anisotropic_poisson_3d(nx: int, ny: int | None = None, nz: int | None = None,
+                           anisotropy=(1.0, 1.0, 100.0), seed: int = 0) -> CSCMatrix:
+    """7-point anisotropic Poisson — petroleum/porous-media style
+    (ORSIRR/SAYLR family): nearly symmetric, well conditioned."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rng = np.random.default_rng(seed)
+    ax, ay, az = anisotropy
+    n = nx * ny * nz
+    entries = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                v = (i * ny + j) * nz + k
+                d = 0.0
+                for (ii, jj, kk, w) in ((i - 1, j, k, ax), (i + 1, j, k, ax),
+                                        (i, j - 1, k, ay), (i, j + 1, k, ay),
+                                        (i, j, k - 1, az), (i, j, k + 1, az)):
+                    if 0 <= ii < nx and 0 <= jj < ny and 0 <= kk < nz:
+                        wv = w * (1.0 + 0.05 * rng.random())
+                        entries.append((v, (ii * ny + jj) * nz + kk, -wv))
+                        d += wv
+                entries.append((v, v, d + 1e-3))
+    return _coo(n, entries)
+
+
+def fem_stiffness_2d(nx: int, ny: int | None = None, unsym: float = 0.1,
+                     lagrange_frac: float = 0.0, seed: int = 0) -> CSCMatrix:
+    """Bilinear-quad FEM stiffness matrix with optional asymmetry and
+    Lagrange-multiplier rows (FIDAP family: structurally symmetric, some
+    zero diagonal entries from constraints)."""
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    nn = (nx + 1) * (ny + 1)
+
+    def node(i, j):
+        return i * (ny + 1) + j
+
+    entries = []
+    for i in range(nx):
+        for j in range(ny):
+            nodes = [node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1)]
+            # reference bilinear-quad stiffness + random material + asymmetry
+            k = np.array([[4, -1, -2, -1], [-1, 4, -1, -2],
+                          [-2, -1, 4, -1], [-1, -2, -1, 4]], dtype=float) / 6.0
+            k *= 1.0 + rng.random()
+            k += unsym * rng.standard_normal((4, 4)) / 6.0
+            for a in range(4):
+                for b_ in range(4):
+                    entries.append((nodes[a], nodes[b_], k[a, b_]))
+    nlag = int(lagrange_frac * nn)
+    n = nn + nlag
+    if nlag:
+        # each constraint ties two random nodes: [K Cᵀ; C 0] — zero diagonal
+        for t in range(nlag):
+            a, b_ = rng.choice(nn, size=2, replace=False)
+            row = nn + t
+            for c_, w in ((a, 1.0), (b_, -1.0)):
+                entries.append((row, int(c_), w))
+                entries.append((int(c_), row, w * (1.0 if rng.random() < 0.5 else 0.98)))
+    return _coo(n, entries)
+
+
+def saddle_point_kkt(m: int, k: int, density: float = 0.08,
+                     seed: int = 0) -> CSCMatrix:
+    """KKT / saddle-point matrix [H Bᵀ; B 0] — the optimization family:
+    a k×k *structurally zero* trailing diagonal block, the canonical
+    "fails completely without pivoting" case."""
+    rng = np.random.default_rng(seed)
+    n = m + k
+    entries = []
+    # H: sparse SPD-ish
+    for i in range(m):
+        entries.append((i, i, 2.0 + rng.random()))
+    nnz_h = max(1, int(density * m * m / 2))
+    for _ in range(nnz_h):
+        i, j = rng.integers(0, m, size=2)
+        if i != j:
+            v = 0.5 * rng.standard_normal()
+            entries.append((int(i), int(j), v))
+            entries.append((int(j), int(i), v))
+    # B: k×m constraints, full row rank w.h.p.
+    for r in range(k):
+        cols = rng.choice(m, size=min(m, max(2, int(density * m)) ), replace=False)
+        for c_ in cols:
+            v = rng.standard_normal()
+            entries.append((m + r, int(c_), v))
+            entries.append((int(c_), m + r, v))
+    return _coo(n, entries)
+
+
+def circuit_mna(n_nodes: int, n_vsources: int = 0, avg_degree: float = 3.0,
+                controlled_frac: float = 0.1, seed: int = 0) -> CSCMatrix:
+    """Modified nodal analysis of a random resistive circuit (ADD32 /
+    MEMPLUS family): voltage sources add rows/columns with *zero
+    diagonal*; controlled sources break numerical symmetry."""
+    rng = np.random.default_rng(seed)
+    n = n_nodes + n_vsources
+    entries = {}
+
+    def add(i, j, v):
+        entries[(i, j)] = entries.get((i, j), 0.0) + v
+
+    # random resistor network over a connectivity backbone (ring + random)
+    edges = [(i, (i + 1) % n_nodes) for i in range(n_nodes)]
+    extra = int(max(0, (avg_degree - 2.0)) * n_nodes / 2)
+    for _ in range(extra):
+        a, b = rng.integers(0, n_nodes, size=2)
+        if a != b:
+            edges.append((int(a), int(b)))
+    for (a, b) in edges:
+        g = np.exp(rng.uniform(-2, 4))  # conductances over decades
+        add(a, a, g); add(b, b, g); add(a, b, -g); add(b, a, -g)
+    # gmin ground leak at every node (what SPICE does): keeps the
+    # conductance block numerically nonsingular without touching the
+    # zero-diagonal voltage-source border
+    for v in range(n_nodes):
+        add(v, v, 1e-6)
+    # voltage-controlled current sources: unsymmetric stamps
+    for _ in range(int(controlled_frac * n_nodes)):
+        a, b, c_, d = rng.integers(0, n_nodes, size=4)
+        gm = np.exp(rng.uniform(-1, 3))
+        add(int(a), int(c_), gm); add(int(a), int(d), -gm)
+        add(int(b), int(c_), -gm); add(int(b), int(d), gm)
+    # voltage sources: border rows/cols, zero diagonal in the (2,2) block.
+    # Each source grounds a *distinct* node so the bordered system keeps a
+    # perfect structural matching (real netlists satisfy this by KVL).
+    if n_vsources > n_nodes:
+        raise ValueError("n_vsources must not exceed n_nodes")
+    vs_nodes = rng.choice(n_nodes, size=n_vsources, replace=False)
+    for s, node in enumerate(vs_nodes):
+        r = n_nodes + s
+        add(r, int(node), 1.0)
+        add(int(node), r, 1.0)
+    r = np.array([ij[0] for ij in entries], dtype=np.int64)
+    c = np.array([ij[1] for ij in entries], dtype=np.int64)
+    v = np.array(list(entries.values()))
+    keep = v != 0.0
+    return CSCMatrix.from_coo(COOMatrix(n, n, r[keep], c[keep], v[keep]))
+
+
+def device_simulation_2d(nx: int, ny: int | None = None,
+                         field: float = 8.0, seed: int = 0) -> CSCMatrix:
+    """Scharfetter-Gummel-style drift-diffusion discretization (ECL32 /
+    WANG family): 5-point pattern with exponentially unsymmetric
+    off-diagonals (Bernoulli weights under a strong potential drop) —
+    huge numerical asymmetry, the regime where pre-pivoting by MC64
+    matters most."""
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+
+    def bernoulli(x):
+        ax = abs(x)
+        if ax < 1e-8:
+            return 1.0 - x / 2.0
+        return x / np.expm1(x)
+
+    # random smooth potential with a strong junction drop mid-device
+    psi = np.empty((nx, ny))
+    for i in range(nx):
+        for j in range(ny):
+            psi[i, j] = field * np.tanh((i - nx / 2) / max(1.0, nx / 8)) \
+                + 0.3 * rng.standard_normal()
+    entries = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            d = 1e-6
+            for (ii, jj) in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    dpsi = psi[ii, jj] - psi[i, j]
+                    w = bernoulli(dpsi)      # flows in
+                    wo = bernoulli(-dpsi)    # flows out
+                    entries.append((v, ii * ny + jj, -w))
+                    d += wo
+            entries.append((v, v, d))
+    return _coo(n, entries)
+
+
+def chemical_process(stages: int, comps: int = 4, recycle: int = 2,
+                     seed: int = 0) -> CSCMatrix:
+    """Staged process flowsheet Jacobian (WEST / LHR / RDIST family):
+    block tridiagonal stage coupling, dense-ish stage blocks with *zero
+    diagonal entries* (mass-balance rows), long-range recycle streams —
+    very unsymmetric, needs a transversal to factor at all."""
+    rng = np.random.default_rng(seed)
+    b = comps + 1  # per-stage block: comps + one energy balance
+    n = stages * b
+    entries = []
+    for s in range(stages):
+        base = s * b
+        blk = rng.standard_normal((b, b)) * (rng.random((b, b)) < 0.7)
+        # knock out some diagonal entries (balance equations)
+        for t in range(b):
+            if rng.random() < 0.4:
+                blk[t, t] = 0.0
+            else:
+                blk[t, t] += np.sign(blk[t, t] or 1.0) * 2.0
+        # guarantee a perfect matching within the stage block (every real
+        # flowsheet Jacobian pairs each equation with a variable): a hidden
+        # local transversal avoiding knocked-out diagonal positions
+        q = rng.permutation(b)
+        for t in range(b):
+            if q[t] == t and blk[t, t] == 0.0:
+                q_t = (t + 1) % b
+                q[np.nonzero(q == q_t)[0][0]] = q[t]
+                q[t] = q_t
+            if blk[q[t], t] == 0.0:
+                blk[q[t], t] = 1.0 + rng.random()
+        for i in range(b):
+            for j in range(b):
+                if blk[i, j] != 0.0:
+                    entries.append((base + i, base + j, blk[i, j]))
+        for nb in (s - 1, s + 1):
+            if 0 <= nb < stages:
+                nbase = nb * b
+                coup = rng.standard_normal((b, b)) * (rng.random((b, b)) < 0.25)
+                for i in range(b):
+                    for j in range(b):
+                        if coup[i, j] != 0.0:
+                            entries.append((base + i, nbase + j, coup[i, j]))
+    for _ in range(recycle):
+        s1, s2 = rng.integers(0, stages, size=2)
+        if s1 == s2:
+            continue
+        i = int(s1) * b + int(rng.integers(0, b))
+        j = int(s2) * b + int(rng.integers(0, b))
+        entries.append((i, j, rng.standard_normal()))
+    return _coo(n, entries)
+
+
+def reservoir_7pt(nx: int, ny: int, nz: int, kv_over_kh: float = 0.1,
+                  wells: int = 2, seed: int = 0) -> CSCMatrix:
+    """Petroleum reservoir 7-point pressure system with vertical
+    anisotropy and well completions (near-dense well columns)."""
+    rng = np.random.default_rng(seed)
+    n = nx * ny * nz
+    entries = []
+    perm = np.exp(rng.uniform(-1, 1, size=(nx, ny, nz)))  # heterogeneity
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                v = (i * ny + j) * nz + k
+                d = 1e-8
+                for (ii, jj, kk, w) in ((i - 1, j, k, 1.0), (i + 1, j, k, 1.0),
+                                        (i, j - 1, k, 1.0), (i, j + 1, k, 1.0),
+                                        (i, j, k - 1, kv_over_kh),
+                                        (i, j, k + 1, kv_over_kh)):
+                    if 0 <= ii < nx and 0 <= jj < ny and 0 <= kk < nz:
+                        t = w * 2.0 / (1.0 / perm[i, j, k] + 1.0 / perm[ii, jj, kk])
+                        entries.append((v, (ii * ny + jj) * nz + kk, -t))
+                        d += t
+                entries.append((v, v, d))
+    # wells: couple a whole vertical column to a bottom-hole unknown row
+    for w in range(wells):
+        i = int(rng.integers(0, nx)); j = int(rng.integers(0, ny))
+        for k in range(nz):
+            v = (i * ny + j) * nz + k
+            tgt = (int(rng.integers(0, nx)) * ny + int(rng.integers(0, ny))) * nz
+            entries.append((v, tgt, -0.01 * rng.random()))
+    return _coo(n, entries)
+
+
+def random_unsymmetric(n: int, density: float = 0.02,
+                       diag_zero_frac: float = 0.0,
+                       diag_scale: float = 1.0,
+                       value_decades: float = 0.0, seed: int = 0) -> CSCMatrix:
+    """Generic unsymmetric filler with a controllable fraction of
+    structurally zero diagonal entries (a hidden permuted diagonal keeps
+    the matrix structurally nonsingular).
+
+    ``value_decades`` spreads entry magnitudes over ±that many decades —
+    the badly-scaled regime (raw collection matrices span many decades)
+    where iterative refinement earns its keep.
+    """
+    rng = np.random.default_rng(seed)
+    nnz = max(n, int(density * n * n))
+    r = rng.integers(0, n, size=nnz)
+    c = rng.integers(0, n, size=nnz)
+    v = rng.standard_normal(nnz)
+    if value_decades > 0.0:
+        v *= 10.0 ** rng.uniform(-value_decades, value_decades, size=nnz)
+    # hidden transversal: a random permutation diagonal with solid values
+    p = rng.permutation(n)
+    r2 = p
+    c2 = np.arange(n)
+    v2 = (2.0 + rng.random(n)) * np.where(rng.random(n) < 0.5, 1, -1)
+    # (possibly partial) true diagonal
+    keep_diag = rng.random(n) >= diag_zero_frac
+    r3 = np.nonzero(keep_diag)[0]
+    v3 = diag_scale * rng.standard_normal(r3.size)
+    rows = np.concatenate([r, r2, r3])
+    cols = np.concatenate([c, c2, r3])
+    vals = np.concatenate([v, v2, v3])
+    a = CSCMatrix.from_coo(COOMatrix(n, n, rows, cols, vals))
+    if diag_zero_frac > 0.0:
+        # force the unlucky diagonal entries to be *structural* zeros
+        cols_all = np.repeat(np.arange(n, dtype=np.int64), np.diff(a.colptr))
+        kill = (~keep_diag)[a.rowind] & (a.rowind == cols_all) \
+            & (a.rowind != p[cols_all])
+        vals = a.nzval.copy()
+        vals[kill] = 0.0
+        a = CSCMatrix(n, n, a.colptr, a.rowind, vals, check=False).prune_zeros()
+    return a
+
+
+def twotone_like(n_half: int, coupling: int = 6, harmonics: int = 3,
+                 seed: int = 0) -> CSCMatrix:
+    """TWOTONE analog: harmonic-balance of two weakly coupled nonlinear
+    analog subcircuits.  Properties the paper attributes to TWOTONE:
+    tiny average supernode size (~2.4 columns), irregular structure →
+    poor load balance, a few denser coupling rows, highly unsymmetric.
+    """
+    rng = np.random.default_rng(seed)
+    n = 2 * n_half * harmonics
+    entries = {}
+
+    def add(i, j, v):
+        if v != 0.0:
+            entries[(i, j)] = entries.get((i, j), 0.0) + v
+
+    for blk in range(2):
+        for h in range(harmonics):
+            base = (blk * harmonics + h) * n_half
+            # sparse irregular subcircuit: mostly short-range connections
+            # (real netlists are locally clustered), a few long wires —
+            # irregular enough to keep supernodes tiny without the
+            # quadratic fill a uniform random graph would cause
+            for v in range(n_half):
+                add(base + v, base + v, 1.0 + np.exp(rng.uniform(-1, 4)))
+                deg = int(rng.integers(1, 4))
+                for _ in range(deg):
+                    if rng.random() < 0.9:
+                        w = (v + int(rng.integers(1, 12))) % n_half
+                    else:
+                        w = int(rng.integers(0, n_half))
+                    if w != v:
+                        add(base + v, base + w, -np.exp(rng.uniform(-2, 2)))
+            # harmonic coupling: pattern differs per direction (unsymmetric)
+            if h + 1 < harmonics:
+                nxt = (blk * harmonics + h + 1) * n_half
+                for _ in range(n_half // 2):
+                    v = int(rng.integers(0, n_half))
+                    add(base + v, nxt + v, rng.standard_normal())
+    # weak cross-coupling rows (somewhat denser rows -> imbalance); width
+    # is kept bounded so the coupling perturbs balance without densifying
+    # the whole factor
+    row_width = max(8, min(48, n_half // 12))
+    for _ in range(coupling):
+        i = int(rng.integers(0, n))
+        cols = rng.choice(n, size=min(n, row_width), replace=False)
+        for c_ in cols:
+            add(i, int(c_), 0.01 * rng.standard_normal())
+    r = np.array([ij[0] for ij in entries], dtype=np.int64)
+    c = np.array([ij[1] for ij in entries], dtype=np.int64)
+    v = np.array(list(entries.values()))
+    return CSCMatrix.from_coo(COOMatrix(n, n, r, c, v))
+
+
+def magnetohydrodynamics_2d(nx: int, ny: int | None = None,
+                            hartmann: float = 10.0, seed: int = 0) -> CSCMatrix:
+    """Coupled 2-field MHD-style discretization (plasma physics family of
+    paper Table 1): two unknowns per grid point (flow + induced field)
+    with cross-coupling proportional to the Hartmann number — a 2×2 block
+    5-point operator, structurally symmetric, numerically unsymmetric and
+    increasingly coupling-dominated as ``hartmann`` grows."""
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    npts = nx * ny
+    n = 2 * npts
+    entries = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            for f in (0, 1):                    # field index
+                row = 2 * v + f
+                diag = 4.0 + 0.1 * rng.standard_normal()
+                for (a, b) in ((i - 1, j), (i + 1, j), (i, j - 1),
+                               (i, j + 1)):
+                    if 0 <= a < nx and 0 <= b < ny:
+                        entries.append((row, 2 * (a * ny + b) + f, -1.0))
+                # cross coupling: u <- B and B <- u with opposite signs
+                other = 2 * v + (1 - f)
+                sign = 1.0 if f == 0 else -1.0
+                entries.append((row, other, sign * hartmann / max(nx, ny)))
+                entries.append((row, row, diag))
+    return _coo(n, entries)
+
+
+def structural_frame_3d(nx: int, ny: int, nz: int, damping: float = 0.02,
+                        seed: int = 0) -> CSCMatrix:
+    """3-D frame stiffness-like operator (structural engineering family):
+    3 displacement DOFs per node, 7-point connectivity, small unsymmetric
+    damping/follower-force perturbation."""
+    rng = np.random.default_rng(seed)
+    npts = nx * ny * nz
+    n = 3 * npts
+    entries = {}
+
+    def add(i, j, v):
+        entries[(i, j)] = entries.get((i, j), 0.0) + v
+
+    def node(i, j, k):
+        return (i * ny + j) * nz + k
+
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                v = node(i, j, k)
+                for d in range(3):
+                    row = 3 * v + d
+                    add(row, row, 6.0 + rng.random())
+                    for (a, b, c) in ((i - 1, j, k), (i + 1, j, k),
+                                      (i, j - 1, k), (i, j + 1, k),
+                                      (i, j, k - 1), (i, j, k + 1)):
+                        if 0 <= a < nx and 0 <= b < ny and 0 <= c < nz:
+                            w = node(a, b, c)
+                            stiff = -1.0 - 0.1 * rng.random()
+                            add(row, 3 * w + d, stiff)
+                            # DOF coupling with unsymmetric follower term
+                            d2 = (d + 1) % 3
+                            add(row, 3 * w + d2,
+                                -0.2 + damping * rng.standard_normal())
+    r = np.array([ij[0] for ij in entries], dtype=np.int64)
+    c = np.array([ij[1] for ij in entries], dtype=np.int64)
+    v = np.array(list(entries.values()))
+    return CSCMatrix.from_coo(COOMatrix(n, n, r, c, v))
+
+
+def markov_chain_transition(n: int, avg_degree: float = 4.0,
+                            seed: int = 0) -> CSCMatrix:
+    """``I − Pᵀ`` of a sparse irreducible Markov chain (the economics /
+    queueing family): columns sum to ~0 (singular up to the stationary
+    direction), so a small regularization keeps it solvable; strongly
+    unsymmetric with a weak diagonal — an iterative-refinement stress
+    case."""
+    rng = np.random.default_rng(seed)
+    entries = {}
+
+    def add(i, j, v):
+        entries[(i, j)] = entries.get((i, j), 0.0) + v
+
+    for j in range(n):
+        deg = max(1, int(rng.poisson(avg_degree)))
+        targets = set(rng.integers(0, n, size=deg).tolist())
+        targets.add((j + 1) % n)  # a ring keeps the chain irreducible
+        targets.discard(j)
+        probs = rng.random(len(targets))
+        probs /= probs.sum()
+        for t, pr in zip(sorted(targets), probs):
+            add(t, j, -pr)          # -P^T entries
+        add(j, j, 1.0 + 1e-8)       # I with tiny regularization
+    r = np.array([ij[0] for ij in entries], dtype=np.int64)
+    c = np.array([ij[1] for ij in entries], dtype=np.int64)
+    v = np.array(list(entries.values()))
+    return CSCMatrix.from_coo(COOMatrix(n, n, r, c, v))

@@ -1,0 +1,210 @@
+"""Approximate Minimum Degree (AMD) ordering.
+
+Paper §2.1: "In the future, we will use the approximate minimum degree
+column ordering algorithm by Davis et al. which is faster and requires
+less memory since it does not explicitly form AᵀA."  This module
+implements the AMD algorithm of Amestoy, Davis & Duff: the quotient-graph
+minimum degree with the *approximate external degree* bound
+
+    d̂(i) = min( n − k,
+                d(i) + |Lp \\ i|,
+                |A_i \\ i| + |Lp \\ i| + Σ_{e ∈ E_i \\ p} |L_e \\ Lp| )
+
+where the |L_e \\ Lp| terms for all relevant elements are computed in one
+scatter pass over the new element Lp (the algorithm's key trick — O(|Lp|
++ Σ|E_i|) per pivot instead of a full reach computation).  Also included:
+element absorption, aggressive absorption (w[e] = 0 ⇒ L_e ⊆ Lp),
+supervariable detection by hashing, and mass elimination.
+
+Degrees are weighted by supervariable sizes throughout, so the returned
+permutation is directly comparable to :func:`repro.ordering.mmd.minimum_degree`
+(same quality class, substantially faster on larger graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["approximate_minimum_degree"]
+
+
+def approximate_minimum_degree(a: CSCMatrix, aggressive: bool = True):
+    """AMD destination permutation of a symmetric-pattern sparse matrix.
+
+    Parameters
+    ----------
+    a:
+        Square matrix; the pattern is symmetrized defensively (union with
+        its transpose), diagonal ignored.
+    aggressive:
+        Enable aggressive element absorption (``|L_e \\ Lp| = 0`` ⇒
+        absorb ``e`` into the new element) — AMD's default.
+
+    Returns
+    -------
+    perm : int64[n]
+        Destination permutation (vertex ``v`` is eliminated at position
+        ``perm[v]``).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("approximate_minimum_degree requires a square matrix")
+    n = a.ncols
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    # ---- symmetrized adjacency (sets of ints; no self loops) ----
+    adj = [set() for _ in range(n)]
+    cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(a.colptr))
+    for i, j in zip(a.rowind.tolist(), cols.tolist()):
+        if i != j:
+            adj[i].add(j)
+            adj[j].add(i)
+
+    elem_of = [set() for _ in range(n)]     # E_i: elements adjacent to var i
+    elem_members = {}                       # element id -> set of variables
+    weight = [1] * n                        # supervariable sizes |i|
+    members = {v: [v] for v in range(n)}    # merged originals, in order
+    alive = [True] * n
+    # approximate external degree (weighted); exact at start
+    degree = [sum(weight[u] for u in adj[v]) for v in range(n)]
+
+    perm = np.empty(n, dtype=np.int64)
+    pos = 0
+    remaining = set(range(n))
+    total_weight = n  # running Σ weight over `remaining`
+
+    # degree buckets: the classic O(1)-amortized pivot selection
+    buckets_by_deg = {}
+    for v in range(n):
+        buckets_by_deg.setdefault(degree[v], set()).add(v)
+    min_deg = min(buckets_by_deg) if buckets_by_deg else 0
+
+    def reassign_degree(v, new_d):
+        old = degree[v]
+        if old == new_d:
+            return
+        b = buckets_by_deg.get(old)
+        if b is not None:
+            b.discard(v)
+            if not b:
+                del buckets_by_deg[old]
+        buckets_by_deg.setdefault(new_d, set()).add(v)
+        degree[v] = new_d
+
+    def remove_from_buckets(v):
+        b = buckets_by_deg.get(degree[v])
+        if b is not None:
+            b.discard(v)
+            if not b:
+                del buckets_by_deg[degree[v]]
+
+    # scratch for the one-pass |L_e \ Lp| computation
+    w = {}
+
+    while remaining:
+        # ---- pivot selection: smallest approximate degree ----
+        while min_deg not in buckets_by_deg:
+            min_deg += 1
+        p = min(buckets_by_deg[min_deg])
+
+        # ---- form the new element Lp ----
+        lp = set(adj[p])
+        for e in elem_of[p]:
+            lp |= elem_members.get(e, ())
+        lp.discard(p)
+        lp &= remaining
+        lp_weight = sum(weight[i] for i in lp)
+
+        # absorb p's old elements
+        for e in elem_of[p]:
+            elem_members.pop(e, None)
+        elem_members[p] = lp
+
+        # ---- one scatter pass: w[e] = |L_e \ Lp| for elements near Lp ----
+        w.clear()
+        for i in lp:
+            for e in elem_of[i]:
+                if e not in elem_members:
+                    continue
+                if e not in w:
+                    w[e] = sum(weight[u] for u in elem_members[e])
+                w[e] -= weight[i]
+
+        # ---- update each variable in Lp ----
+        remaining_weight = total_weight - weight[p]
+        for i in lp:
+            # prune direct edges now covered by the new element
+            adj[i] -= lp
+            adj[i].discard(p)
+            # drop dead elements; add the new one
+            live = {e for e in elem_of[i] if e in elem_members}
+            live.discard(p)
+            if aggressive:
+                # aggressive absorption: an element fully inside Lp is
+                # redundant once p's element exists
+                absorbed = {e for e in live if w.get(e, 1) == 0}
+                for e in absorbed:
+                    elem_members.pop(e, None)
+                live -= absorbed
+            elem_of[i] = live | {p}
+            # approximate external degree (Amestoy-Davis-Duff bound)
+            ext_a = sum(weight[u] for u in adj[i])
+            lp_minus_i = lp_weight - weight[i]
+            s2 = 0
+            for e in live:
+                if e in w:
+                    s2 += max(0, w[e])
+                else:
+                    s2 += sum(weight[u] for u in elem_members[e])
+            bound1 = degree[i] + lp_minus_i
+            bound2 = ext_a + lp_minus_i + s2
+            new_d = max(0, min(remaining_weight - weight[i], bound1, bound2))
+            reassign_degree(i, new_d)
+            if new_d < min_deg:
+                min_deg = new_d
+
+        # ---- supervariable detection among Lp (hash + verify) ----
+        buckets = {}
+        for i in sorted(lp):
+            key = (len(adj[i]), len(elem_of[i]),
+                   sum(adj[i]) + sum(hash(e) for e in elem_of[i]))
+            buckets.setdefault(key, []).append(i)
+        for same in buckets.values():
+            if len(same) < 2:
+                continue
+            base = same[0]
+            for other in same[1:]:
+                if adj[base] == adj[other] and elem_of[base] == elem_of[other]:
+                    # merge other into base (eliminated together later)
+                    members[base].extend(members[other])
+                    weight[base] += weight[other]
+                    remaining.discard(other)
+                    remove_from_buckets(other)
+                    alive[other] = False
+                    for u in adj[other]:
+                        adj[u].discard(other)
+                    for e in elem_of[other]:
+                        if e in elem_members:
+                            elem_members[e].discard(other)
+                    lp_ref = elem_members.get(p)
+                    if lp_ref is not None:
+                        lp_ref.discard(other)
+                    adj[other].clear()
+                    elem_of[other].clear()
+
+        # ---- number the pivot (mass elimination of merged originals) ----
+        for m in members[p]:
+            perm[m] = pos
+            pos += 1
+        alive[p] = False
+        remaining.discard(p)
+        remove_from_buckets(p)
+        total_weight -= weight[p]
+        adj[p].clear()
+        elem_of[p].clear()
+        if not elem_members.get(p):
+            elem_members.pop(p, None)
+
+    return perm

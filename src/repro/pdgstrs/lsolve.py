@@ -1,0 +1,169 @@
+"""Distributed lower triangular solve ``L y = b`` (paper Figure 9).
+
+Inner-product formulation: before subvector ``x(K)`` is solved, every
+update ``L(K,J)·x(J)``, ``J < K``, must be accumulated and subtracted
+from ``b(K)``.  Per rank:
+
+- ``fmod[K]`` — outstanding local block updates to this rank's partial
+  sum ``lsum(K)``; when it reaches zero the partial sum is shipped to the
+  diagonal process of K (or delivered locally when this rank *is* it);
+- ``frecv[K]`` (diagonal process only) — outstanding partial-sum
+  deliveries (remote ranks each deliver once; this rank's own
+  contribution counts as one more); when it reaches zero, ``x(K)`` is
+  solved against the unit lower triangle of the diagonal block and sent
+  down process column ``K mod npcol`` to every owner of an ``L(I,K)``
+  block.
+
+The main loop is a receive-any dispatcher on the two message kinds —
+the paper's "execution of the program is message-driven" — with local
+cascades (a solve enabling local updates enabling further solves)
+processed eagerly between receives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Recv, Send
+from repro.dmem.distribute import DistributedBlocks
+
+__all__ = ["pdgstrs_lower", "lower_solve_programs"]
+
+_TAG_X = 0      # solved subvector x(K):   tag = 2*K
+_TAG_LSUM = 1   # partial sum for K:       tag = 2*K + 1
+
+
+def _contributor_map(dist: DistributedBlocks):
+    """For each supernode K: the set of ranks owning blocks (K, J), J<K —
+    the processes whose partial sums K's solve must wait for.  One pass
+    over the block structure (replicated symbolic data)."""
+    grid = dist.grid
+    contrib = [set() for _ in range(dist.nsuper)]
+    for j in range(dist.nsuper):
+        for i_blk in dist.l_rows_by_block[j]:
+            contrib[i_blk].add(grid.owner(i_blk, j))
+    return contrib
+
+
+def lower_solve_programs(dist: DistributedBlocks, b):
+    """Build one rank generator per process for the lower solve.
+
+    Each generator returns a dict ``{K: y_K}`` of the solved subvectors
+    of the supernodes whose diagonal process it is.
+    """
+    contrib = _contributor_map(dist)
+    return [_rank_lower(r, dist, b, contrib) for r in range(dist.grid.size)]
+
+
+def pdgstrs_lower(dist: DistributedBlocks, b, machine=None):
+    """Simulate the lower solve; returns ``(y, SimulationResult)``.
+
+    ``b`` may be a vector (n,) or a block of right-hand sides (n, nrhs) —
+    the message-driven algorithm is identical, with subvectors replaced
+    by (width × nrhs) sub-blocks (the multiple-RHS case the paper's §5
+    closing discussion anticipates).
+    """
+    from repro.dmem.simulator import simulate
+
+    b = np.asarray(b, dtype=np.float64)
+    sim = simulate(lower_solve_programs(dist, b), machine=machine)
+    y = np.empty(b.shape)
+    xsup = dist.part.xsup
+    for parts in sim.returns:
+        for k, yk in parts.items():
+            y[xsup[k]:xsup[k + 1]] = yk
+    return y, sim
+
+
+def _rank_lower(rank, dist: DistributedBlocks, b, contrib):
+    grid = dist.grid
+    ns = dist.nsuper
+    xsup = dist.part.xsup
+    b = np.asarray(b, dtype=np.float64)
+
+    nrhs = 1 if b.ndim == 1 else b.shape[1]
+
+    def zeros_block(w):
+        return np.zeros(w) if b.ndim == 1 else np.zeros((w, nrhs))
+
+    # my_lblocks[J] = block rows I (> J) of my L(I,J) blocks
+    my_lblocks = {}
+    fmod = {}
+    for (i_blk, j_blk) in dist.lblk[rank]:
+        my_lblocks.setdefault(j_blk, []).append(i_blk)
+        fmod[i_blk] = fmod.get(i_blk, 0) + 1
+    for v in my_lblocks.values():
+        v.sort()
+    lsum = {k: zeros_block(dist.width(k)) for k in fmod}
+
+    my_diag = sorted(dist.diag[rank].keys())
+    frecv = {}
+    n_lsum_expected = 0
+    for k in my_diag:
+        remote = len(contrib[k] - {rank})
+        n_lsum_expected += remote
+        frecv[k] = remote + (1 if rank in contrib[k] else 0)
+    acc = {k: b[xsup[k]:xsup[k + 1]].astype(np.float64).copy() for k in my_diag}
+    solved = {}
+    # distinct J with owned L(·,J) blocks whose diagonal process is remote
+    n_x_expected = sum(1 for j in my_lblocks if grid.owner(j, j) != rank)
+
+    # ---- local cascade helpers --------------------------------------- #
+
+    def deliver_part(k, vec):
+        d = grid.owner(k, k)
+        if d == rank:
+            acc[k] -= vec
+            frecv[k] -= 1
+            yield from maybe_solve(k)
+        else:
+            yield Send(dest=d, tag=2 * k + _TAG_LSUM, payload=vec.copy(),
+                       nbytes=vec.nbytes)
+
+    def maybe_solve(k):
+        if k in solved or frecv[k] != 0:
+            return
+        d = dist.diag[rank][k]
+        w = dist.width(k)
+        y = acc[k]
+        for jj in range(w):              # unit-lower solve on the diag block
+            if jj:
+                y[jj] -= d[jj, :jj] @ y[:jj]
+        yield Compute(flops=w * w * nrhs, width=w)
+        solved[k] = y
+        dests = {grid.owner(int(i), k) for i in dist.l_rows_by_block[k]}
+        dests.discard(rank)
+        for dst in sorted(dests):
+            yield Send(dest=dst, tag=2 * k + _TAG_X, payload=y,
+                       nbytes=y.nbytes)
+        yield from apply_x(k, y)
+
+    def apply_x(j, xj):
+        for i_blk in my_lblocks.get(j, ()):
+            blk = dist.lblk[rank][(i_blk, j)]
+            rows = dist.l_rows_by_block[j][i_blk]
+            contribution = blk @ xj
+            yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
+                          width=blk.shape[1])
+            lsum[i_blk][rows - xsup[i_blk]] += contribution
+            fmod[i_blk] -= 1
+            if fmod[i_blk] == 0:
+                yield from deliver_part(i_blk, lsum[i_blk])
+
+    # ---- seeding: supernodes solvable with no remote input ------------ #
+    for k in list(my_diag):
+        yield from maybe_solve(k)
+
+    # ---- message-driven main loop (the paper's receive-any loop) ------ #
+    remaining = n_x_expected + n_lsum_expected
+    while remaining > 0:
+        m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)   # line (*) of Fig. 9
+        remaining -= 1
+        k, kind = divmod(m.tag, 2)
+        if kind == _TAG_X:
+            yield from apply_x(k, np.asarray(m.payload))
+        else:
+            acc[k] -= np.asarray(m.payload)
+            frecv[k] -= 1
+            yield from maybe_solve(k)
+    return solved

@@ -1,0 +1,162 @@
+"""Distributed upper triangular solve ``U x = y`` (paper §3.3).
+
+The mirror image of the lower solve: back substitution proceeds from the
+root of the elimination tree toward the leaves.  For supernode K,
+
+    x(K) = U(K,K)⁻¹ ( y(K) − Σ_{J>K} U(K,J)·x(J) )
+
+The U blocks (K,J) live in process *row* K mod nprow; a solved x(J) is
+sent *down process column* J mod npcol to the owners of U(·,J) blocks.
+``umod``/``urecv`` counters replace ``fmod``/``frecv``.  The paper notes
+the row-oriented U storage makes the implementation slightly more
+involved ("two vertical linked lists" for column access); in this layout
+the per-supernode column index sets play that role.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Recv, Send
+from repro.dmem.distribute import DistributedBlocks
+
+__all__ = ["pdgstrs_upper", "upper_solve_programs"]
+
+_TAG_X = 0
+_TAG_USUM = 1
+
+
+def _contributor_map(dist: DistributedBlocks):
+    """For each supernode K: ranks owning blocks (K, J), J > K of U."""
+    grid = dist.grid
+    contrib = [set() for _ in range(dist.nsuper)]
+    for k in range(dist.nsuper):
+        for j_blk in dist.u_cols_by_block[k]:
+            contrib[k].add(grid.owner(k, j_blk))
+    return contrib
+
+
+def _consumer_map(dist: DistributedBlocks):
+    """For each supernode J: block rows K (< J) with a U(K,J) block —
+    the consumers of x(J).  One structure pass, shared by all ranks."""
+    consumers = [[] for _ in range(dist.nsuper)]
+    for k in range(dist.nsuper):
+        for j_blk in dist.u_cols_by_block[k]:
+            consumers[j_blk].append(k)
+    return consumers
+
+
+def upper_solve_programs(dist: DistributedBlocks, y):
+    contrib = _contributor_map(dist)
+    consumers = _consumer_map(dist)
+    return [_rank_upper(r, dist, y, contrib, consumers)
+            for r in range(dist.grid.size)]
+
+
+def pdgstrs_upper(dist: DistributedBlocks, y, machine=None):
+    """Simulate the upper solve; returns ``(x, SimulationResult)``.
+
+    Accepts a vector (n,) or a block (n, nrhs), like the lower solve.
+    """
+    from repro.dmem.simulator import simulate
+
+    y = np.asarray(y, dtype=np.float64)
+    sim = simulate(upper_solve_programs(dist, y), machine=machine)
+    x = np.empty(y.shape)
+    xsup = dist.part.xsup
+    for parts in sim.returns:
+        for k, xk in parts.items():
+            x[xsup[k]:xsup[k + 1]] = xk
+    return x, sim
+
+
+def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers):
+    grid = dist.grid
+    xsup = dist.part.xsup
+    y = np.asarray(y, dtype=np.float64)
+
+    nrhs = 1 if y.ndim == 1 else y.shape[1]
+
+    def zeros_block(w):
+        return np.zeros(w) if y.ndim == 1 else np.zeros((w, nrhs))
+
+    # my_ublocks[J] = block rows K (< J) of my U(K,J) blocks
+    my_ublocks = {}
+    umod = {}
+    for (k_blk, j_blk) in dist.ublk[rank]:
+        my_ublocks.setdefault(j_blk, []).append(k_blk)
+        umod[k_blk] = umod.get(k_blk, 0) + 1
+    for v in my_ublocks.values():
+        v.sort()
+    usum = {k: zeros_block(dist.width(k)) for k in umod}
+
+    my_diag = sorted(dist.diag[rank].keys())
+    urecv = {}
+    n_usum_expected = 0
+    for k in my_diag:
+        remote = len(contrib[k] - {rank})
+        n_usum_expected += remote
+        urecv[k] = remote + (1 if rank in contrib[k] else 0)
+    acc = {k: y[xsup[k]:xsup[k + 1]].astype(np.float64).copy() for k in my_diag}
+    solved = {}
+    n_x_expected = sum(1 for j in my_ublocks if grid.owner(j, j) != rank)
+
+    def deliver_part(k, vec):
+        d = grid.owner(k, k)
+        if d == rank:
+            acc[k] -= vec
+            urecv[k] -= 1
+            yield from maybe_solve(k)
+        else:
+            yield Send(dest=d, tag=2 * k + _TAG_USUM, payload=vec.copy(),
+                       nbytes=vec.nbytes)
+
+    def maybe_solve(k):
+        if k in solved or urecv[k] != 0:
+            return
+        d = dist.diag[rank][k]
+        w = dist.width(k)
+        x = acc[k]
+        for jj in range(w - 1, -1, -1):  # upper solve on the diag block
+            if jj + 1 < w:
+                x[jj] -= d[jj, jj + 1:] @ x[jj + 1:]
+            x[jj] /= d[jj, jj]
+        yield Compute(flops=w * w * nrhs, width=w)
+        solved[k] = x
+        # x(K) goes down process column K mod npcol to U(·,K) owners
+        dests = {grid.owner(int(kk), k) for kk in consumers[k]}
+        dests.discard(rank)
+        for dst in sorted(dests):
+            yield Send(dest=dst, tag=2 * k + _TAG_X, payload=x,
+                       nbytes=x.nbytes)
+        yield from apply_x(k, x)
+
+    def apply_x(j, xj):
+        for k_blk in my_ublocks.get(j, ()):
+            blk = dist.ublk[rank][(k_blk, j)]
+            # all of this block's columns lie inside supernode j, by
+            # construction of the per-supernode grouping
+            cols = dist.u_cols_by_block[k_blk][j]
+            contribution = blk @ xj[cols - xsup[j]]
+            yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
+                          width=blk.shape[0])
+            usum[k_blk] += contribution
+            umod[k_blk] -= 1
+            if umod[k_blk] == 0:
+                yield from deliver_part(k_blk, usum[k_blk])
+
+    for k in sorted(my_diag, reverse=True):
+        yield from maybe_solve(k)
+
+    remaining = n_x_expected + n_usum_expected
+    while remaining > 0:
+        m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+        remaining -= 1
+        k, kind = divmod(m.tag, 2)
+        if kind == _TAG_X:
+            yield from apply_x(k, np.asarray(m.payload))
+        else:
+            acc[k] -= np.asarray(m.payload)
+            urecv[k] -= 1
+            yield from maybe_solve(k)
+    return solved

@@ -1,0 +1,31 @@
+"""Row/column scaling and static pivot choice (GESP step (1)).
+
+- :mod:`~repro.scaling.equilibrate` — LAPACK ``DGEEQU``-style equilibration
+  making every row and column have max magnitude 1;
+- :mod:`~repro.scaling.matching` — bipartite matching machinery: maximum
+  cardinality transversal (Duff's MC21), bottleneck matching, and the
+  sparse shortest-augmenting-path assignment solver;
+- :mod:`~repro.scaling.mc64` — the Duff-Koster MC64 interface: permute
+  large entries to the diagonal, optionally returning the dual-variable
+  scaling that makes the matched entries exactly ±1 and all other entries
+  at most 1 in magnitude (the variant the paper reports results for).
+"""
+
+from repro.scaling.equilibrate import equilibrate
+from repro.scaling.matching import (
+    StructurallySingularError,
+    max_transversal,
+    bottleneck_matching,
+    sparse_assignment,
+)
+from repro.scaling.mc64 import mc64, MC64Result
+
+__all__ = [
+    "equilibrate",
+    "StructurallySingularError",
+    "max_transversal",
+    "bottleneck_matching",
+    "sparse_assignment",
+    "mc64",
+    "MC64Result",
+]

@@ -1,0 +1,321 @@
+"""Bipartite matching machinery for static pivot selection.
+
+Three algorithms, all operating on the row/column bipartite graph of a
+sparse matrix (one vertex per row, one per column, an edge per nonzero):
+
+- :func:`max_transversal` — maximum cardinality matching (Duff's MC21,
+  1981): a zero-free diagonal when one exists;
+- :func:`bottleneck_matching` — maximize the smallest matched magnitude
+  (MC64 job 3 flavour), by threshold search over the distinct magnitudes;
+- :func:`sparse_assignment` — minimum-cost perfect matching by shortest
+  augmenting paths with dual potentials (sparse Jonker-Volgenant /
+  MC64 job 5 engine), returning the optimal duals needed for the
+  Duff-Koster scaling.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+__all__ = [
+    "StructurallySingularError",
+    "max_transversal",
+    "bottleneck_matching",
+    "sparse_assignment",
+]
+
+
+class StructurallySingularError(ValueError):
+    """Raised when no perfect matching exists: the matrix is structurally
+    singular, so *no* pivot order can avoid a zero pivot and GESP (like any
+    LU factorization) must reject it."""
+
+
+# --------------------------------------------------------------------- #
+# maximum cardinality transversal (MC21)
+# --------------------------------------------------------------------- #
+
+def max_transversal(a: CSCMatrix, require_perfect=False):
+    """Maximum cardinality bipartite matching of the nonzero pattern.
+
+    Returns ``rowof`` with ``rowof[j]`` the row matched to column ``j``
+    (−1 when column ``j`` is unmatched).  Uses cheap assignment followed by
+    depth-first augmenting paths, the structure of Duff's MC21 algorithm.
+
+    With ``require_perfect=True`` a :class:`StructurallySingularError` is
+    raised when the matching is not perfect.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("max_transversal requires a square matrix")
+    n = a.ncols
+    colptr, rowind = a.colptr, a.rowind
+    rowof = np.full(n, -1, dtype=np.int64)   # row matched to column j
+    colof = np.full(n, -1, dtype=np.int64)   # column matched to row i
+
+    # cheap assignment pass: take any free row in the column
+    for j in range(n):
+        for k in range(colptr[j], colptr[j + 1]):
+            i = rowind[k]
+            if colof[i] < 0:
+                colof[i] = j
+                rowof[j] = i
+                break
+
+    # DFS augmentation for each unmatched column (iterative, with a
+    # per-column visited stamp to stay O(nnz) per augmentation)
+    visited = np.full(n, -1, dtype=np.int64)
+    # cursor[j]: next edge of column j to try, so each edge is scanned once
+    for j0 in range(n):
+        if rowof[j0] >= 0:
+            continue
+        # iterative DFS over alternating paths
+        stack = [j0]
+        cursor = {j0: colptr[j0]}
+        parent = {j0: -1}
+        visited[j0] = j0
+        found_row = -1
+        while stack:
+            j = stack[-1]
+            k = cursor[j]
+            advanced = False
+            while k < colptr[j + 1]:
+                i = rowind[k]
+                k += 1
+                if colof[i] < 0:
+                    # free row: augment along the DFS stack
+                    found_row = i
+                    cursor[j] = k
+                    break
+                j2 = colof[i]
+                if visited[j2] != j0:
+                    visited[j2] = j0
+                    cursor[j] = k
+                    cursor[j2] = colptr[j2]
+                    parent[j2] = j
+                    # remember which row led to j2 for augmentation
+                    parent[("row", j2)] = i
+                    stack.append(j2)
+                    advanced = True
+                    break
+            else:
+                cursor[j] = k
+                stack.pop()
+                continue
+            if found_row >= 0:
+                break
+            if advanced:
+                continue
+        if found_row >= 0:
+            # augment: assign found_row to the top column, then flip
+            # matched edges upward along parent pointers
+            j = stack[-1]
+            i = found_row
+            while True:
+                prev_i = rowof[j]
+                rowof[j] = i
+                colof[i] = j
+                pj = parent[j]
+                if pj < 0:
+                    break
+                i = parent[("row", j)]
+                j = pj
+
+    if require_perfect and np.any(rowof < 0):
+        raise StructurallySingularError(
+            f"pattern has maximum matching of size {int(np.sum(rowof >= 0))} < n={n}")
+    return rowof
+
+
+# --------------------------------------------------------------------- #
+# bottleneck matching (MC64 job 3 flavour)
+# --------------------------------------------------------------------- #
+
+def bottleneck_matching(a: CSCMatrix):
+    """Perfect matching maximizing the *smallest* matched magnitude.
+
+    Binary search over the sorted distinct magnitudes: threshold ``t`` is
+    feasible iff the subgraph of entries with ``|a_ij| >= t`` admits a
+    perfect matching.  Returns (rowof, bottleneck_value).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("bottleneck_matching requires a square matrix")
+    n = a.ncols
+    mags = np.abs(a.nzval)
+    # feasibility at the smallest magnitude == plain max transversal
+    best = max_transversal(a, require_perfect=True)
+    values = np.unique(mags)
+    lo, hi = 0, values.size - 1  # values[lo] always feasible
+    best_val = float(values[0]) if values.size else 0.0
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        t = values[mid]
+        sub = _threshold_subgraph(a, mags, t)
+        try:
+            cand = max_transversal(sub, require_perfect=True)
+        except StructurallySingularError:
+            hi = mid - 1
+            continue
+        best, best_val, lo = cand, float(t), mid
+    return best, best_val
+
+
+def _threshold_subgraph(a, mags, t):
+    keep = mags >= t
+    cols = np.repeat(np.arange(a.ncols, dtype=np.int64), np.diff(a.colptr))
+    colptr = np.zeros(a.ncols + 1, dtype=np.int64)
+    np.add.at(colptr, cols[keep] + 1, 1)
+    np.cumsum(colptr, out=colptr)
+    return CSCMatrix(a.nrows, a.ncols, colptr, a.rowind[keep],
+                     a.nzval[keep], check=False)
+
+
+# --------------------------------------------------------------------- #
+# minimum-cost perfect matching with duals (sparse JV / MC64 job 5 engine)
+# --------------------------------------------------------------------- #
+
+def sparse_assignment(n, colptr, rowind, cost):
+    """Minimum-cost perfect bipartite matching on a sparse cost structure.
+
+    Parameters
+    ----------
+    n:
+        Number of rows = number of columns.
+    colptr, rowind:
+        CSC-style structure: column ``j``'s admissible rows are
+        ``rowind[colptr[j]:colptr[j+1]]``.
+    cost:
+        Finite edge costs parallel to ``rowind`` (must be >= 0 after the
+        caller's normalization for the duals to initialize cleanly; any
+        finite costs work, initialization handles offsets).
+
+    Returns
+    -------
+    rowof : int64[n]
+        ``rowof[j]`` is the row matched to column ``j``.
+    u : float64[n]
+        Row duals.
+    v : float64[n]
+        Column duals, satisfying ``u[i] + v[j] <= cost(i,j)`` for every
+        edge with equality on matched edges (complementary slackness).
+
+    Raises
+    ------
+    StructurallySingularError
+        If no perfect matching exists.
+
+    Notes
+    -----
+    Shortest-augmenting-path algorithm with Dijkstra on reduced costs
+    (sparse Jonker-Volgenant; the engine inside MC64).  One Dijkstra per
+    column; total complexity ``O(n (nnz + n) log n)`` worst case, far less
+    in practice — the paper makes the same observation about MC64.
+    """
+    colptr = np.asarray(colptr, dtype=np.int64)
+    rowind = np.asarray(rowind, dtype=np.int64)
+    cost = np.asarray(cost, dtype=np.float64)
+    if np.any(~np.isfinite(cost)):
+        raise ValueError("edge costs must be finite")
+
+    INF = np.inf
+    rowof = np.full(n, -1, dtype=np.int64)   # row matched to column j
+    colof = np.full(n, -1, dtype=np.int64)   # column matched to row i
+    u = np.zeros(n)                           # row duals
+    v = np.zeros(n)                           # column duals
+
+    # Column-dual initialization: v[j] = min cost in column j, guaranteeing
+    # nonnegative reduced costs before the first augmentation.
+    for j in range(n):
+        lo, hi = colptr[j], colptr[j + 1]
+        if lo == hi:
+            raise StructurallySingularError(f"column {j} is empty")
+        v[j] = cost[lo:hi].min()
+    # Row-dual initialization: u[i] = min over edges (i,j) of cost - v[j].
+    u.fill(INF)
+    for j in range(n):
+        lo, hi = colptr[j], colptr[j + 1]
+        np.minimum.at(u, rowind[lo:hi], cost[lo:hi] - v[j])
+    u[~np.isfinite(u)] = 0.0  # rows with no edges fail later with a clear error
+
+    # Cheap assignment on tight edges (reduced cost == 0) to seed matching.
+    for j in range(n):
+        lo, hi = colptr[j], colptr[j + 1]
+        red = cost[lo:hi] - u[rowind[lo:hi]] - v[j]
+        for k in np.nonzero(red <= 1e-15)[0]:
+            i = rowind[lo + k]
+            if colof[i] < 0:
+                colof[i] = j
+                rowof[j] = i
+                break
+
+    for j0 in range(n):
+        if rowof[j0] >= 0:
+            continue
+        # Dijkstra from free column j0 over alternating paths.  States are
+        # ROWS here (paths alternate col -> row via any edge, row -> col via
+        # matched edge); distances are to rows.
+        dist = np.full(n, INF)
+        final = np.zeros(n, dtype=bool)
+        prev_col = np.full(n, -1, dtype=np.int64)  # column preceding row i
+        heap = []
+        lo, hi = colptr[j0], colptr[j0 + 1]
+        for k in range(lo, hi):
+            i = rowind[k]
+            d = cost[k] - u[i] - v[j0]
+            if d < dist[i]:
+                dist[i] = d
+                prev_col[i] = j0
+                heapq.heappush(heap, (d, i))
+        found_row = -1
+        dfinal = INF
+        while heap:
+            d, i = heapq.heappop(heap)
+            if final[i] or d > dist[i]:
+                continue
+            final[i] = True
+            if colof[i] < 0:
+                found_row = i
+                dfinal = d
+                break
+            # follow the matched edge row i -> column colof[i] (reduced cost
+            # zero by complementary slackness), then relax every edge of
+            # that column
+            j = colof[i]
+            lo2, hi2 = colptr[j], colptr[j + 1]
+            base = d  # matched edges have reduced cost 0 (tight)
+            cand_rows = rowind[lo2:hi2]
+            cand_d = base + cost[lo2:hi2] - u[cand_rows] - v[j]
+            for idx in range(cand_rows.size):
+                i2 = cand_rows[idx]
+                nd = cand_d[idx]
+                if not final[i2] and nd < dist[i2] - 1e-300:
+                    dist[i2] = nd
+                    prev_col[i2] = j
+                    heapq.heappush(heap, (nd, i2))
+        if found_row < 0:
+            raise StructurallySingularError(
+                "no augmenting path: matrix is structurally singular")
+        # Dual updates preserving complementary slackness.
+        fin = final & (dist <= dfinal)
+        fin_rows = np.nonzero(fin)[0]
+        u[fin_rows] += dist[fin_rows] - dfinal
+        for i in fin_rows:
+            j = colof[i]
+            if j >= 0:
+                v[j] -= dist[i] - dfinal
+        v[j0] += dfinal  # the source column absorbs the full path length
+        # Augment along prev_col chain from found_row back to j0.
+        i = found_row
+        while True:
+            j = prev_col[i]
+            prev_i = rowof[j]
+            rowof[j] = i
+            colof[i] = j
+            if j == j0:
+                break
+            i = prev_i
+
+    return rowof, u, v

@@ -1,0 +1,98 @@
+"""Forward error bounds via 1-norm condition estimation (Hager-Higham).
+
+The paper: "our code has the ability to estimate a forward error bound
+for the true error ‖x - x*‖/‖x‖ ... by far the most expensive step after
+factorization, since it requires multiple triangular solves.  Therefore we
+do this only when the user asks for it."
+
+The bound follows LAPACK's ``xGERFS``/``xGECON`` recipe: the componentwise
+forward error satisfies
+
+    ‖x - x*‖_inf / ‖x‖_inf  <=  ‖ |A^{-1}| f ‖_inf / ‖x‖_inf,
+    f = |r| + (n+1) eps (|A||x| + |b|)
+
+and ``‖ |A^{-1}| f ‖_inf = ‖ A^{-1} diag(f) ‖_inf`` is estimated by
+Hager's algorithm using only products with ``A^{-1}`` and ``A^{-T}`` —
+i.e. triangular solves with the existing factors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import abs_matvec, spmv
+
+__all__ = ["condest_1norm", "forward_error_bound"]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def condest_1norm(n: int, apply_inv: Callable, apply_inv_t: Callable,
+                  max_iter: int = 5):
+    """Hager-Higham estimate of ``‖M^{-1}‖_1`` given solve callbacks.
+
+    ``apply_inv(v)`` must return ``M^{-1} v`` and ``apply_inv_t(v)`` must
+    return ``M^{-T} v``.  Returns a lower bound that is almost always
+    within a small factor of the truth (the LAPACK ``xLACON`` iteration,
+    including the final alternating-sign safeguard vector).
+    """
+    if n == 0:
+        return 0.0
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    for _ in range(max_iter):
+        y = apply_inv(x)
+        est_new = float(np.abs(y).sum())
+        # xi = y / |y| (the complex-safe "sign"; 1 where y == 0)
+        ay = np.abs(y)
+        xi = np.where(ay == 0, 1.0, y / np.where(ay == 0, 1.0, ay))
+        z = apply_inv_t(xi)
+        j = int(np.argmax(np.abs(z)))
+        if est_new <= est:
+            break
+        est = est_new
+        if np.abs(z[j]) <= np.real(np.conj(z) @ x):
+            break
+        x = np.zeros(n)
+        x[j] = 1.0
+    # safeguard vector: x_i = (-1)^i (1 + i/(n-1)), catches adversarial cases
+    v = np.array([(-1.0) ** i * (1.0 + i / max(1, n - 1)) for i in range(n)])
+    est_sg = float(2.0 * np.abs(apply_inv(v)).sum() / (3.0 * n))
+    return max(est, est_sg)
+
+
+def forward_error_bound(a: CSCMatrix, solve: Callable, solve_t: Callable,
+                        x, b):
+    """LAPACK-style bound on ``‖x - x*‖_inf / ‖x‖_inf``.
+
+    Parameters
+    ----------
+    a:
+        The original matrix.
+    solve, solve_t:
+        Callables applying ``A^{-1}`` and ``A^{-T}`` via the factors.
+    x, b:
+        The computed solution and right-hand side.
+    """
+    x = np.asarray(x)
+    b = np.asarray(b)
+    n = a.ncols
+    r = b - spmv(a, x)
+    f = np.abs(r) + (n + 1) * _EPS * (abs_matvec(a, x) + np.abs(b))
+
+    # estimate ‖ A^{-1} diag(f) ‖_inf = ‖ diag(f) A^{-T} ‖_1 via Hager on
+    # M^{-1} v := diag(f) A^{-T} v  and  M^{-T} v := A^{-1} (f ∘ v)
+    def inv(v):
+        return f * np.asarray(solve_t(v))
+
+    def inv_t(v):
+        return np.asarray(solve(f * v))
+
+    num = condest_1norm(n, inv, inv_t)
+    xnorm = float(np.abs(x).max(initial=0.0))
+    if xnorm == 0.0:
+        return np.inf if num > 0 else 0.0
+    return num / xnorm

@@ -1,0 +1,93 @@
+"""Selective inversion of diagonal blocks (paper §5 alternative solves).
+
+    "There are also alternative algorithms other than substitutions, such
+    as those based on partitioned inversion [1] or selective inversion
+    [24].  However, these algorithms usually require preprocessing ...
+    It is unclear whether the preprocessing and redistribution will
+    offset the benefit offered by these algorithms, and will probably
+    depend on the number of right-hand sides."
+
+This module implements the light form of the idea: after the supernodal
+factorization, *explicitly invert each diagonal block* (the preprocessing
+step).  Every within-block triangular substitution in the solves then
+becomes a dense mat-vec — associative, vectorizable, and free of the
+sequential scalar recurrence, which is what shortens the solve's critical
+path on a parallel machine.  The trade the paper describes is visible
+directly: the inversion costs ~2·Σw³/3 extra flops once, and pays off
+proportionally to the number of right-hand sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.factor.supernodal import SupernodalFactors
+
+__all__ = ["SelectiveInversionSolver"]
+
+
+@dataclass
+class SelectiveInversionSolver:
+    """Supernodal solves with pre-inverted diagonal blocks.
+
+    Parameters
+    ----------
+    factors:
+        A completed :class:`~repro.factor.supernodal.SupernodalFactors`.
+
+    Attributes
+    ----------
+    linv, uinv:
+        Per-supernode inverses of the unit-lower and upper triangles of
+        each diagonal block.
+    preprocessing_flops:
+        Flops spent inverting (the cost to amortize over solves).
+    """
+
+    factors: SupernodalFactors
+
+    def __post_init__(self):
+        self.linv = []
+        self.uinv = []
+        flops = 0
+        for k in range(self.factors.part.nsuper):
+            d = self.factors.diag[k]
+            w = d.shape[0]
+            lk = np.tril(d, -1) + np.eye(w)
+            uk = np.triu(d)
+            self.linv.append(np.linalg.inv(lk))
+            self.uinv.append(np.linalg.inv(uk))
+            flops += 2 * (2 * w ** 3 // 3)
+        self.preprocessing_flops = flops
+
+    def solve(self, b):
+        """x with ``L U x = b`` — identical math to ``factors.solve`` but
+        every diagonal-block substitution is a mat-vec against the
+        precomputed inverse.  Accepts (n,) or (n, nrhs)."""
+        f = self.factors
+        x = np.array(b, dtype=np.float64, copy=True)
+        ns = f.part.nsuper
+        xsup = f.part.xsup
+        for k in range(ns):
+            lo, hi = int(xsup[k]), int(xsup[k + 1])
+            x[lo:hi] = self.linv[k] @ x[lo:hi]
+            s = f.s_rows[k]
+            if s.size:
+                x[s] -= f.below[k] @ x[lo:hi]
+        for k in range(ns - 1, -1, -1):
+            lo, hi = int(xsup[k]), int(xsup[k + 1])
+            s = f.s_rows[k]
+            rhs = x[lo:hi]
+            if s.size:
+                rhs = rhs - f.right[k] @ x[s]
+            x[lo:hi] = self.uinv[k] @ rhs
+        return x
+
+    def block_sequential_depth(self):
+        """Scalar-recurrence depth per supernode with substitution vs with
+        inversion: substitution is O(width) sequential steps per diagonal
+        block; the inverted form is 1 (a single mat-vec)."""
+        widths = self.factors.part.sizes()
+        return int(widths.sum()), int(self.factors.part.nsuper)

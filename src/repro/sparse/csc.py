@@ -1,0 +1,232 @@
+"""Compressed sparse column storage.
+
+CSC is the working format of every factorization kernel in this package,
+mirroring the SuperLU convention: column ``j`` occupies the index range
+``colptr[j]:colptr[j+1]`` of the parallel arrays ``rowind`` (row subscripts)
+and ``nzval`` (numerical values).  Row indices within a column are kept
+sorted ascending — several kernels (triangular solve, supernode detection)
+rely on this invariant, and the constructor enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import value_dtype
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix:
+    """An ``nrows``-by-``ncols`` sparse matrix in compressed sparse column form.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix shape.
+    colptr:
+        ``int64[ncols+1]`` — ``colptr[j]:colptr[j+1]`` delimits column ``j``.
+    rowind:
+        ``int64[nnz]`` — row subscript of each stored entry, sorted within
+        each column.
+    nzval:
+        ``float64[nnz]`` — numerical values, parallel to ``rowind``.
+    check:
+        Validate the invariants (monotone colptr, in-range sorted row
+        indices).  Kernels that construct structurally-correct output can
+        pass ``check=False`` to skip the O(nnz) validation.
+    """
+
+    __slots__ = ("nrows", "ncols", "colptr", "rowind", "nzval")
+
+    def __init__(self, nrows, ncols, colptr, rowind, nzval, check=True):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.colptr = np.ascontiguousarray(colptr, dtype=np.int64)
+        self.rowind = np.ascontiguousarray(rowind, dtype=np.int64)
+        self.nzval = np.ascontiguousarray(nzval, dtype=value_dtype(nzval))
+        if check:
+            self._validate()
+
+    def _validate(self):
+        if self.colptr.ndim != 1 or self.colptr.size != self.ncols + 1:
+            raise ValueError("colptr must have length ncols+1")
+        if self.colptr[0] != 0 or self.colptr[-1] != self.rowind.size:
+            raise ValueError("colptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.colptr) < 0):
+            raise ValueError("colptr must be nondecreasing")
+        if self.rowind.size != self.nzval.size:
+            raise ValueError("rowind and nzval must have equal length")
+        if self.rowind.size:
+            if self.rowind.min() < 0 or self.rowind.max() >= self.nrows:
+                raise ValueError("row index out of range")
+        # sortedness within each column, vectorized: a decrease in rowind is
+        # only legal at a column boundary.
+        if self.rowind.size > 1:
+            dec = np.nonzero(np.diff(self.rowind) <= 0)[0] + 1
+            if dec.size:
+                starts = self.colptr[1:-1]
+                if not np.all(np.isin(dec, starts)):
+                    raise ValueError("row indices must be strictly increasing within a column")
+
+    # ------------------------------------------------------------------ #
+    # construction / conversion
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_coo(cls, coo, sum_duplicates=True, drop_zeros=False):
+        """Compress a :class:`~repro.sparse.coo.COOMatrix`, summing duplicates."""
+        nrows, ncols = coo.shape
+        if coo.nnz == 0:
+            return cls(nrows, ncols, np.zeros(ncols + 1, np.int64),
+                       np.empty(0, np.int64),
+                       np.empty(0, value_dtype(coo.val)), check=False)
+        # sort by (col, row) — lexsort keys are listed least-significant first
+        order = np.lexsort((coo.row, coo.col))
+        r = coo.row[order]
+        c = coo.col[order]
+        v = coo.val[order]
+        if sum_duplicates:
+            # a run of identical (col,row) pairs collapses to one entry
+            new_run = np.empty(r.size, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+            idx = np.nonzero(new_run)[0]
+            sums = np.add.reduceat(v, idx)
+            r, c, v = r[idx], c[idx], sums
+        if drop_zeros:
+            keep = v != 0.0
+            r, c, v = r[keep], c[keep], v[keep]
+        colptr = np.zeros(ncols + 1, dtype=np.int64)
+        np.add.at(colptr, c + 1, 1)
+        np.cumsum(colptr, out=colptr)
+        return cls(nrows, ncols, colptr, r, v, check=False)
+
+    @classmethod
+    def from_dense(cls, dense, drop_tol=0.0):
+        """Build from a dense 2-D array, dropping entries with |a| <= drop_tol."""
+        from repro.sparse.coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense, drop_tol=drop_tol))
+
+    @classmethod
+    def identity(cls, n, scale=1.0):
+        """The n-by-n (scaled) identity."""
+        return cls(n, n, np.arange(n + 1, dtype=np.int64),
+                   np.arange(n, dtype=np.int64),
+                   np.full(n, float(scale)), check=False)
+
+    @classmethod
+    def empty(cls, nrows, ncols):
+        """An all-zero matrix with no stored entries."""
+        return cls(nrows, ncols, np.zeros(ncols + 1, np.int64),
+                   np.empty(0, np.int64), np.empty(0, np.float64), check=False)
+
+    def to_dense(self):
+        out = np.zeros(self.shape, dtype=self.nzval.dtype)
+        for j in range(self.ncols):
+            lo, hi = self.colptr[j], self.colptr[j + 1]
+            out[self.rowind[lo:hi], j] = self.nzval[lo:hi]
+        return out
+
+    def to_coo(self):
+        from repro.sparse.coo import COOMatrix
+
+        cols = np.repeat(np.arange(self.ncols, dtype=np.int64), np.diff(self.colptr))
+        return COOMatrix(self.nrows, self.ncols, self.rowind.copy(), cols, self.nzval.copy())
+
+    def to_csr(self):
+        """Convert to CSR.  O(nnz) counting sort; preserves sorted order."""
+        from repro.sparse.csr import CSRMatrix
+
+        t = self.transpose()
+        # transpose of CSC(A) has A's rows as its columns: reinterpret as CSR
+        return CSRMatrix(self.nrows, self.ncols, t.colptr, t.rowind, t.nzval, check=False)
+
+    def transpose(self):
+        """Return A^T in CSC form (equivalently: A in CSR, reinterpreted)."""
+        nnz = self.rowind.size
+        tptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.add.at(tptr, self.rowind + 1, 1)
+        np.cumsum(tptr, out=tptr)
+        tind = np.empty(nnz, dtype=np.int64)
+        tval = np.empty(nnz, dtype=self.nzval.dtype)
+        cols = np.repeat(np.arange(self.ncols, dtype=np.int64), np.diff(self.colptr))
+        # stable counting placement keeps destination columns sorted because
+        # we scan sources in (col-major = row-sorted-within-col) order
+        next_slot = tptr[:-1].copy()
+        # vectorized stable bucket placement: argsort by row with stable kind
+        order = np.argsort(self.rowind, kind="stable")
+        tind[:] = cols[order]
+        tval[:] = self.nzval[order]
+        del next_slot
+        return CSCMatrix(self.ncols, self.nrows, tptr, tind, tval, check=False)
+
+    def copy(self):
+        return CSCMatrix(self.nrows, self.ncols, self.colptr.copy(),
+                         self.rowind.copy(), self.nzval.copy(), check=False)
+
+    # ------------------------------------------------------------------ #
+    # element / column access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self):
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self):
+        return self.rowind.size
+
+    def col(self, j):
+        """Return (rowind_view, nzval_view) for column j — views, not copies."""
+        lo, hi = self.colptr[j], self.colptr[j + 1]
+        return self.rowind[lo:hi], self.nzval[lo:hi]
+
+    def col_nnz(self):
+        """Per-column entry counts."""
+        return np.diff(self.colptr)
+
+    def get(self, i, j, default=0.0):
+        """A[i, j], O(log nnz(col j)) by binary search."""
+        lo, hi = self.colptr[j], self.colptr[j + 1]
+        k = lo + np.searchsorted(self.rowind[lo:hi], i)
+        if k < hi and self.rowind[k] == i:
+            return self.nzval[k].item()
+        return default
+
+    def diagonal(self):
+        """The main diagonal as a dense vector (missing entries are 0)."""
+        n = min(self.nrows, self.ncols)
+        d = np.zeros(n, dtype=self.nzval.dtype)
+        for j in range(n):
+            lo, hi = self.colptr[j], self.colptr[j + 1]
+            k = lo + np.searchsorted(self.rowind[lo:hi], j)
+            if k < hi and self.rowind[k] == j:
+                d[j] = self.nzval[k]
+        return d
+
+    def has_sorted_indices(self):
+        """True when every column's row indices are strictly increasing."""
+        if self.rowind.size <= 1:
+            return True
+        dec = np.nonzero(np.diff(self.rowind) <= 0)[0] + 1
+        return bool(np.all(np.isin(dec, self.colptr[1:-1])))
+
+    def prune_zeros(self, tol=0.0):
+        """Return a copy with entries |a| <= tol removed from the structure."""
+        keep = np.abs(self.nzval) > tol
+        cols = np.repeat(np.arange(self.ncols, dtype=np.int64), np.diff(self.colptr))
+        colptr = np.zeros(self.ncols + 1, dtype=np.int64)
+        np.add.at(colptr, cols[keep] + 1, 1)
+        np.cumsum(colptr, out=colptr)
+        return CSCMatrix(self.nrows, self.ncols, colptr,
+                         self.rowind[keep], self.nzval[keep], check=False)
+
+    def __matmul__(self, x):
+        from repro.sparse.ops import spmv
+
+        return spmv(self, np.asarray(x))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,135 @@
+"""Compressed sparse row storage.
+
+CSR mirrors :class:`~repro.sparse.csc.CSCMatrix` with the roles of rows and
+columns exchanged.  The distributed factorization stores U row-wise
+(paper Figure 7), and several orderings traverse rows; everything else is
+delegated to CSC through the transpose identity ``CSR(A) == CSC(A^T)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import value_dtype
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """An ``nrows``-by-``ncols`` sparse matrix in compressed sparse row form.
+
+    Row ``i`` occupies ``rowptr[i]:rowptr[i+1]`` of the parallel arrays
+    ``colind`` / ``nzval``, with column indices sorted ascending in each row.
+    """
+
+    __slots__ = ("nrows", "ncols", "rowptr", "colind", "nzval")
+
+    def __init__(self, nrows, ncols, rowptr, colind, nzval, check=True):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rowptr = np.ascontiguousarray(rowptr, dtype=np.int64)
+        self.colind = np.ascontiguousarray(colind, dtype=np.int64)
+        self.nzval = np.ascontiguousarray(nzval, dtype=value_dtype(nzval))
+        if check:
+            self._validate()
+
+    def _validate(self):
+        if self.rowptr.ndim != 1 or self.rowptr.size != self.nrows + 1:
+            raise ValueError("rowptr must have length nrows+1")
+        if self.rowptr[0] != 0 or self.rowptr[-1] != self.colind.size:
+            raise ValueError("rowptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.rowptr) < 0):
+            raise ValueError("rowptr must be nondecreasing")
+        if self.colind.size != self.nzval.size:
+            raise ValueError("colind and nzval must have equal length")
+        if self.colind.size:
+            if self.colind.min() < 0 or self.colind.max() >= self.ncols:
+                raise ValueError("column index out of range")
+        if self.colind.size > 1:
+            dec = np.nonzero(np.diff(self.colind) <= 0)[0] + 1
+            if dec.size and not np.all(np.isin(dec, self.rowptr[1:-1])):
+                raise ValueError("column indices must be strictly increasing within a row")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_coo(cls, coo, sum_duplicates=True, drop_zeros=False):
+        from repro.sparse.csc import CSCMatrix
+
+        csc_t = CSCMatrix.from_coo(coo.transpose(), sum_duplicates=sum_duplicates,
+                                   drop_zeros=drop_zeros)
+        return cls(coo.nrows, coo.ncols, csc_t.colptr, csc_t.rowind, csc_t.nzval,
+                   check=False)
+
+    @classmethod
+    def from_dense(cls, dense, drop_tol=0.0):
+        from repro.sparse.coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense, drop_tol=drop_tol))
+
+    def to_csc(self):
+        """Convert to CSC: CSR(A) == CSC(A^T), so one CSC transpose suffices."""
+        from repro.sparse.csc import CSCMatrix
+
+        csc_at = CSCMatrix(self.ncols, self.nrows, self.rowptr, self.colind,
+                           self.nzval, check=False)
+        return csc_at.transpose()
+
+    def to_dense(self):
+        out = np.zeros((self.nrows, self.ncols), dtype=self.nzval.dtype)
+        for i in range(self.nrows):
+            lo, hi = self.rowptr[i], self.rowptr[i + 1]
+            out[i, self.colind[lo:hi]] = self.nzval[lo:hi]
+        return out
+
+    def transpose(self):
+        """Return A^T in CSR form.
+
+        ``CSR(A)`` is bit-identical to ``CSC(A^T)``; transposing that CSC
+        yields ``CSC(A)``, which reinterpreted as CSR is ``A^T``.
+        """
+        from repro.sparse.csc import CSCMatrix
+
+        csc_at = CSCMatrix(self.ncols, self.nrows, self.rowptr, self.colind,
+                           self.nzval, check=False)  # A^T in CSC
+        csc_a = csc_at.transpose()  # A in CSC
+        return CSRMatrix(self.ncols, self.nrows, csc_a.colptr, csc_a.rowind,
+                         csc_a.nzval, check=False)
+
+    def copy(self):
+        return CSRMatrix(self.nrows, self.ncols, self.rowptr.copy(),
+                         self.colind.copy(), self.nzval.copy(), check=False)
+
+    @property
+    def shape(self):
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self):
+        return self.colind.size
+
+    def row(self, i):
+        """Return (colind_view, nzval_view) for row i — views, not copies."""
+        lo, hi = self.rowptr[i], self.rowptr[i + 1]
+        return self.colind[lo:hi], self.nzval[lo:hi]
+
+    def row_nnz(self):
+        return np.diff(self.rowptr)
+
+    def get(self, i, j, default=0.0):
+        lo, hi = self.rowptr[i], self.rowptr[i + 1]
+        k = lo + np.searchsorted(self.colind[lo:hi], j)
+        if k < hi and self.colind[k] == j:
+            return self.nzval[k].item()
+        return default
+
+    def __matmul__(self, x):
+        x = np.asarray(x)
+        y = np.zeros(self.nrows, dtype=np.result_type(self.nzval, x, np.float64))
+        for i in range(self.nrows):
+            lo, hi = self.rowptr[i], self.rowptr[i + 1]
+            y[i] = self.nzval[lo:hi] @ x[self.colind[lo:hi]]
+        return y
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,153 @@
+"""Block-level elimination DAGs (Gilbert & Liu, ref. 18 of the paper).
+
+For the supernodal block partition, the factorization's data flow is:
+
+- block column ``L(:,K)`` is needed wherever a block ``U(K,J)`` is
+  nonzero (the rank-update ``A(I,J) -= L(I,K) U(K,J)``);
+- block row ``U(K,:)`` is needed wherever a block ``L(I,K)`` is nonzero.
+
+The DAG edges below encode exactly this; the distributed factorization
+uses them to prune communication from dense-style "send-to-all" to
+"send-to-dependents" — the paper reports 16% fewer messages for AF23560
+on 32 processes, more for sparser problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.symbolic.fill import SymbolicLU
+from repro.symbolic.supernode import SupernodePartition
+
+__all__ = ["BlockDAG", "build_block_dag"]
+
+
+@dataclass
+class BlockDAG:
+    """Block structure and dependency edges of the supernodal factorization.
+
+    Attributes
+    ----------
+    part:
+        The supernode partition (blocks in both dimensions).
+    l_blocks:
+        ``l_blocks[K]`` — sorted array of block-row indices ``I >= K`` with
+        ``L(I,K)`` structurally nonzero (always contains ``K`` itself).
+    u_blocks:
+        ``u_blocks[K]`` — sorted array of block-column indices ``J >= K``
+        with ``U(K,J)`` structurally nonzero (contains ``K``).
+    """
+
+    part: SupernodePartition
+    l_blocks: list
+    u_blocks: list
+
+    @property
+    def nsuper(self):
+        return self.part.nsuper
+
+    def l_send_targets(self, k):
+        """Supernodes J > K whose factorization step consumes L(:,K)."""
+        ub = self.u_blocks[k]
+        return ub[ub > k]
+
+    def u_send_targets(self, k):
+        """Supernodes I > K whose factorization step consumes U(K,:)."""
+        lb = self.l_blocks[k]
+        return lb[lb > k]
+
+    def update_blocks(self, k):
+        """All (I, J) pairs updated by supernode K's rank-b update."""
+        rows = self.l_blocks[k]
+        cols = self.u_blocks[k]
+        rows = rows[rows > k]
+        cols = cols[cols > k]
+        return [(int(i), int(j)) for i in rows for j in cols]
+
+    def reachable(self, k):
+        """Transitive closure from supernode K along L∪U dependency edges
+        (the paper's "path in the elimination dags" formulation)."""
+        seen = set()
+        stack = [k]
+        while stack:
+            v = stack.pop()
+            for w in np.concatenate([self.l_send_targets(v), self.u_send_targets(v)]):
+                w = int(w)
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return np.array(sorted(seen), dtype=np.int64)
+
+    def critical_path_length(self):
+        """Longest chain of supernode dependencies — the factorization's
+        inherent sequential depth (what pipelining tries to hide)."""
+        ns = self.nsuper
+        depth = np.zeros(ns, dtype=np.int64)
+        for k in range(ns):
+            targets = np.union1d(self.l_send_targets(k), self.u_send_targets(k))
+            for t in targets:
+                depth[t] = max(depth[t], depth[k] + 1)
+        return int(depth.max(initial=0)) + 1 if ns else 0
+
+    def lower_solve_levels(self):
+        """Level schedule of the forward substitution: ``level[K]`` is the
+        earliest parallel step at which x(K) can be solved (all K' < K
+        with a block L(K,K') must be done).  The number of distinct
+        levels is the solve's minimum parallel depth — the quantity the
+        paper's §5 "graph coloring heuristic to reduce the number of
+        parallel steps" targets."""
+        ns = self.nsuper
+        level = np.zeros(ns, dtype=np.int64)
+        for k in range(ns):
+            for t in self.l_send_targets(k):  # L(t, k) nonzero, t > k
+                level[t] = max(level[t], level[k] + 1)
+        return level
+
+    def upper_solve_levels(self):
+        """Level schedule of the back substitution (root-down mirror)."""
+        ns = self.nsuper
+        level = np.zeros(ns, dtype=np.int64)
+        for k in range(ns - 1, -1, -1):
+            for t in self.u_send_targets(k):  # U(k, t) nonzero, t > k
+                level[k] = max(level[k], level[t] + 1)
+        return level
+
+    def solve_parallel_steps(self):
+        """(lower_steps, upper_steps): the two substitutions' minimum
+        numbers of parallel steps under level scheduling."""
+        low = self.lower_solve_levels()
+        up = self.upper_solve_levels()
+        ls = int(low.max(initial=-1)) + 1 if self.nsuper else 0
+        us = int(up.max(initial=-1)) + 1 if self.nsuper else 0
+        return ls, us
+
+
+def build_block_dag(sym: SymbolicLU, part: SupernodePartition) -> BlockDAG:
+    """Compute the block nonzero structure of L and U for a partition."""
+    n = sym.n
+    if part.n != n:
+        raise ValueError("partition does not cover the matrix")
+    supno = part.supno()
+    ns = part.nsuper
+
+    l_sets = [set() for _ in range(ns)]
+    for k in range(ns):
+        lo_col, hi_col = part.xsup[k], part.xsup[k + 1]
+        for j in range(lo_col, hi_col):
+            lo, hi = sym.l_colptr[j], sym.l_colptr[j + 1]
+            l_sets[k].update(supno[sym.l_rowind[lo:hi]].tolist())
+        l_sets[k].add(k)
+
+    u_sets = [set() for _ in range(ns)]
+    for k in range(ns):
+        lo_col, hi_col = part.xsup[k], part.xsup[k + 1]
+        for i in range(lo_col, hi_col):
+            lo, hi = sym.u_rowptr[i], sym.u_rowptr[i + 1]
+            u_sets[k].update(supno[sym.u_colind[lo:hi]].tolist())
+        u_sets[k].add(k)
+
+    l_blocks = [np.array(sorted(s), dtype=np.int64) for s in l_sets]
+    u_blocks = [np.array(sorted(s), dtype=np.int64) for s in u_sets]
+    return BlockDAG(part=part, l_blocks=l_blocks, u_blocks=u_blocks)

@@ -1,0 +1,249 @@
+"""Static fill patterns of L and U for a fixed diagonal pivot sequence.
+
+Two algorithms:
+
+- :func:`symbolic_lu_unsymmetric` — *exact* unsymmetric fill, by the
+  classic row-merge simulation of Gaussian elimination on patterns
+  (fill path theorem of Rose-Tarjan: L+U has entry (i,j) iff a path
+  i ⇝ j exists in G(A) through vertices < min(i,j));
+- :func:`symbolic_lu_symmetrized` — fill of the *symmetrized* pattern
+  A+Aᵀ via etree-based symbolic Cholesky.  A superset of the true
+  pattern (equal when A is structurally symmetric); this is what
+  SuperLU_DIST uses, trading a few extra stored zeros for a much
+  cheaper analysis — and it makes L and Uᵀ share one pattern, which
+  the 2-D distributed data structure exploits.
+
+Both return a :class:`SymbolicLU` with L in CSC (unit diagonal *included*
+in the pattern) and U in CSR (diagonal included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import pattern_union_transpose
+
+__all__ = [
+    "SymbolicLU",
+    "symbolic_lu",
+    "symbolic_lu_unsymmetric",
+    "symbolic_lu_symmetrized",
+]
+
+
+@dataclass
+class SymbolicLU:
+    """Static structure of an LU factorization with diagonal pivoting.
+
+    Attributes
+    ----------
+    n:
+        Matrix order.
+    l_colptr, l_rowind:
+        CSC pattern of L, *including* the unit diagonal, rows sorted.
+    u_rowptr, u_colind:
+        CSR pattern of U, *including* the diagonal, columns sorted.
+    etree:
+        Elimination tree over columns: for the symmetrized analysis the
+        etree of A+Aᵀ; for exact unsymmetric analysis the column etree
+        (etree of AᵀA), which is an upper bound on the true dependencies.
+    symmetrized:
+        Whether the pattern came from the A+Aᵀ analysis.
+    """
+
+    n: int
+    l_colptr: np.ndarray
+    l_rowind: np.ndarray
+    u_rowptr: np.ndarray
+    u_colind: np.ndarray
+    etree: np.ndarray
+    symmetrized: bool
+
+    @property
+    def nnz_l(self):
+        return self.l_rowind.size
+
+    @property
+    def nnz_u(self):
+        return self.u_colind.size
+
+    @property
+    def nnz_lu(self):
+        """nnz(L+U) counting the diagonal once (the paper's fill metric)."""
+        return self.nnz_l + self.nnz_u - self.n
+
+    def l_pattern_dense(self):
+        out = np.zeros((self.n, self.n), dtype=bool)
+        for j in range(self.n):
+            out[self.l_rowind[self.l_colptr[j]:self.l_colptr[j + 1]], j] = True
+        return out
+
+    def u_pattern_dense(self):
+        out = np.zeros((self.n, self.n), dtype=bool)
+        for i in range(self.n):
+            out[i, self.u_colind[self.u_rowptr[i]:self.u_rowptr[i + 1]]] = True
+        return out
+
+    def factor_flops(self):
+        """Floating-point operations of the numeric factorization.
+
+        For column k with ``lk`` strictly-below-diagonal entries in L and
+        ``uk`` strictly-right-of-diagonal entries in row k of U (of the
+        static pattern): division costs ``lk`` and the rank-1 update costs
+        ``2·lk·uk`` — the standard sparse LU flop count.
+        """
+        lcnt = np.diff(self.l_colptr) - 1  # strictly below diagonal
+        ucnt = np.diff(self.u_rowptr) - 1  # strictly right of diagonal
+        return int(np.sum(lcnt) + 2 * np.sum(lcnt * ucnt))
+
+    def solve_flops(self):
+        """Flops of one forward+back substitution: 2·nnz(L)+2·nnz(U)."""
+        return 2 * (self.nnz_l + self.nnz_u)
+
+
+def symbolic_lu(a: CSCMatrix, method: str = "unsymmetric") -> SymbolicLU:
+    """Dispatch on ``method``: ``"unsymmetric"`` (exact) or ``"symmetrized"``."""
+    if method == "unsymmetric":
+        return symbolic_lu_unsymmetric(a)
+    if method == "symmetrized":
+        return symbolic_lu_symmetrized(a)
+    raise ValueError(f"unknown symbolic method {method!r}")
+
+
+def symbolic_lu_unsymmetric(a: CSCMatrix) -> SymbolicLU:
+    """Exact fill of LU with diagonal pivots on an unsymmetric pattern.
+
+    Row-merge simulation: keep each row's current pattern as a sorted
+    NumPy array; eliminating column ``k`` merges the tail of row ``k``
+    (columns > k) into every row ``i > k`` that has an entry in column
+    ``k``.  Complexity O(fill · average-row-length) — fine at the scale
+    of the testbed, and exactness is what the serial GESP kernel and the
+    tests rely on.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("symbolic_lu requires a square matrix")
+    n = a.ncols
+    # build row patterns from the CSC structure (include the diagonal;
+    # a missing structural diagonal still gets a pivot slot in GESP)
+    at = a.transpose()
+    rows = []
+    for i in range(n):
+        lo, hi = at.colptr[i], at.colptr[i + 1]
+        r = at.rowind[lo:hi]
+        if not np.any(r == i):
+            r = np.sort(np.append(r, i))
+        rows.append(r.astype(np.int64))
+
+    # column patterns of L accumulate as we eliminate
+    l_cols = [[] for _ in range(n)]  # below-diagonal rows per column
+    # active column membership: for each column k, the rows i>k currently
+    # holding an entry in column k.  Maintained lazily: when row i gains a
+    # fill entry in column k we append it.
+    col_members = [[] for _ in range(n)]
+    for i in range(n):
+        for k in rows[i]:
+            if k < i:
+                col_members[k].append(i)
+
+    for k in range(n):
+        rk = rows[k]
+        tail = rk[np.searchsorted(rk, k + 1):]
+        if tail.size:
+            for i in col_members[k]:
+                ri = rows[i]
+                merged = np.union1d(ri, tail)
+                if merged.size != ri.size:
+                    # record new memberships for columns we just filled
+                    new = np.setdiff1d(merged, ri, assume_unique=True)
+                    for c in new:
+                        if c < i:
+                            col_members[c].append(i)
+                    rows[i] = merged
+        # L column k = {k} ∪ members (those still listing k, all > k)
+        l_cols[k] = col_members[k]
+
+    l_colptr = np.zeros(n + 1, dtype=np.int64)
+    u_rowptr = np.zeros(n + 1, dtype=np.int64)
+    l_rowind_parts = []
+    u_colind_parts = []
+    for k in range(n):
+        below = np.array(sorted(set(l_cols[k])), dtype=np.int64)
+        l_rowind_parts.append(np.concatenate([[k], below]))
+        l_colptr[k + 1] = l_colptr[k] + below.size + 1
+    for i in range(n):
+        ri = rows[i]
+        tail = ri[np.searchsorted(ri, i):]
+        if tail.size == 0 or tail[0] != i:
+            tail = np.concatenate([[i], tail])
+        u_colind_parts.append(tail)
+        u_rowptr[i + 1] = u_rowptr[i] + tail.size
+    from repro.ordering.etree import column_etree
+
+    return SymbolicLU(
+        n=n,
+        l_colptr=l_colptr,
+        l_rowind=np.concatenate(l_rowind_parts) if n else np.empty(0, np.int64),
+        u_rowptr=u_rowptr,
+        u_colind=np.concatenate(u_colind_parts) if n else np.empty(0, np.int64),
+        etree=column_etree(a),
+        symmetrized=False,
+    )
+
+
+def symbolic_lu_symmetrized(a: CSCMatrix) -> SymbolicLU:
+    """Fill of the symmetrized pattern A+Aᵀ via symbolic Cholesky.
+
+    Etree-driven column merging: pattern(L col k) = pattern(lower A+Aᵀ
+    col k) ∪ (∪ over etree children c of pattern(L col c) minus {c}).
+    L and U share the (transposed) pattern, exactly as in SuperLU_DIST's
+    GESP analysis.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("symbolic_lu requires a square matrix")
+    n = a.ncols
+    sym = pattern_union_transpose(a)
+    from repro.ordering.etree import etree_symmetric
+
+    parent = etree_symmetric(sym)
+    children = [[] for _ in range(n)]
+    for v in range(n):
+        if parent[v] >= 0:
+            children[parent[v]].append(v)
+
+    col_pat = [None] * n  # sorted arrays of rows >= k
+    for k in range(n):
+        lo, hi = sym.colptr[k], sym.colptr[k + 1]
+        rk = sym.rowind[lo:hi]
+        base = rk[rk >= k]
+        if base.size == 0 or base[0] != k:
+            base = np.concatenate([[k], base]).astype(np.int64)
+        pats = [base]
+        for c in children[k]:
+            pc = col_pat[c]
+            pats.append(pc[pc >= k])  # drop rows < k (only c itself qualifies)
+        if len(pats) > 1:
+            merged = pats[0]
+            for p in pats[1:]:
+                merged = np.union1d(merged, p)
+            col_pat[k] = merged.astype(np.int64)
+        else:
+            col_pat[k] = base.astype(np.int64)
+
+    l_colptr = np.zeros(n + 1, dtype=np.int64)
+    for k in range(n):
+        l_colptr[k + 1] = l_colptr[k] + col_pat[k].size
+    l_rowind = np.concatenate(col_pat) if n else np.empty(0, np.int64)
+    # U pattern = transpose of L pattern (CSR of U == CSC of L, reinterpreted)
+    return SymbolicLU(
+        n=n,
+        l_colptr=l_colptr,
+        l_rowind=l_rowind,
+        u_rowptr=l_colptr.copy(),
+        u_colind=l_rowind.copy(),
+        etree=parent,
+        symmetrized=True,
+    )

@@ -1,0 +1,109 @@
+"""Unit tests for the AMD ordering (§2.1 future-work algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.driver import GESPOptions, GESPSolver
+from repro.ordering import approximate_minimum_degree, column_ordering, minimum_degree
+from repro.sparse import CSCMatrix, permute_symmetric
+
+from conftest import laplace2d_dense, random_nonsingular_dense
+
+
+def symbolic_fill_count(dense_pattern):
+    n = dense_pattern.shape[0]
+    pat = dense_pattern.copy()
+    np.fill_diagonal(pat, True)
+    count = 0
+    for k in range(n):
+        rows = np.nonzero(pat[k + 1:, k])[0] + k + 1
+        count += rows.size + 1
+        for r in rows:
+            pat[r, rows] = True
+    return count
+
+
+def fill_under(perm, a):
+    return symbolic_fill_count(permute_symmetric(a, perm).to_dense() != 0)
+
+
+def test_valid_permutation(rng):
+    for _ in range(25):
+        n = int(rng.integers(1, 50))
+        d = rng.random((n, n)) < 0.2
+        d = d | d.T
+        a = CSCMatrix.from_dense(d.astype(float))
+        p = approximate_minimum_degree(a)
+        assert sorted(p.tolist()) == list(range(n))
+
+
+def test_empty_matrix():
+    assert approximate_minimum_degree(CSCMatrix.empty(0, 0)).size == 0
+
+
+def test_diagonal_matrix():
+    p = approximate_minimum_degree(CSCMatrix.identity(7))
+    assert sorted(p.tolist()) == list(range(7))
+
+
+def test_dense_matrix():
+    a = CSCMatrix.from_dense(np.ones((8, 8)))
+    p = approximate_minimum_degree(a)
+    assert sorted(p.tolist()) == list(range(8))
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        approximate_minimum_degree(CSCMatrix.empty(2, 3))
+
+
+def test_fill_quality_close_to_mmd():
+    """AMD's approximate degrees may lose a little fill quality vs the
+    exact-degree MMD but must stay in the same class (the published
+    experience: within a few percent on typical problems)."""
+    for k in (8, 10, 12):
+        a = CSCMatrix.from_dense(laplace2d_dense(k))
+        f_amd = fill_under(approximate_minimum_degree(a), a)
+        f_mmd = fill_under(minimum_degree(a), a)
+        f_nat = fill_under(np.arange(a.ncols), a)
+        assert f_amd < f_nat
+        assert f_amd <= 1.25 * f_mmd, (k, f_amd, f_mmd)
+
+
+def test_aggressive_absorption_both_valid():
+    a = CSCMatrix.from_dense(laplace2d_dense(7))
+    p1 = approximate_minimum_degree(a, aggressive=True)
+    p2 = approximate_minimum_degree(a, aggressive=False)
+    n = a.ncols
+    assert sorted(p1.tolist()) == list(range(n))
+    assert sorted(p2.tolist()) == list(range(n))
+    nat = fill_under(np.arange(n), a)
+    assert fill_under(p1, a) < nat
+    assert fill_under(p2, a) < nat
+
+
+@pytest.mark.parametrize("method", ["amd_ata", "amd_at_plus_a"])
+def test_column_ordering_amd_methods(rng, method):
+    d = random_nonsingular_dense(rng, 30, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    p = column_ordering(a, method=method)
+    assert sorted(p.tolist()) == list(range(30))
+
+
+def test_driver_with_amd(rng):
+    d = random_nonsingular_dense(rng, 30, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    rep = GESPSolver(a, GESPOptions(col_perm="amd_at_plus_a")).solve(
+        d @ np.ones(30))
+    assert np.abs(rep.x - 1.0).max() < 1e-6
+
+
+def test_supervariables_detected():
+    """A matrix with many indistinguishable nodes (a clique of twins):
+    AMD should eliminate merged supervariables together — positions of
+    twins are consecutive."""
+    n = 10
+    d = np.ones((n, n))  # complete graph: all nodes indistinguishable
+    a = CSCMatrix.from_dense(d)
+    p = approximate_minimum_degree(a)
+    assert sorted(p.tolist()) == list(range(n))

@@ -1,0 +1,75 @@
+"""Unit tests for metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    format_table,
+    forward_error,
+    load_balance,
+    mflop_rate,
+    speedup_table,
+)
+
+
+def test_forward_error():
+    assert forward_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+    assert forward_error([1.1, 2.0], [1.0, 2.0]) == pytest.approx(0.05)
+
+
+def test_forward_error_zero_truth():
+    assert forward_error([0.5, 0.0], [0.0, 0.0]) == 0.5
+
+
+def test_load_balance():
+    assert load_balance([1.0, 1.0, 1.0]) == 1.0
+    assert load_balance([1.0, 3.0]) == pytest.approx(2.0 / 3.0)
+    assert load_balance([]) == 1.0
+    assert load_balance([0.0, 0.0]) == 1.0
+
+
+def test_mflop_rate():
+    assert mflop_rate(2e6, 2.0) == pytest.approx(1.0)
+    assert mflop_rate(1.0, 0.0) == 0.0
+
+
+def test_speedup_table():
+    s = speedup_table({4: 10.0, 16: 5.0, 64: 2.5})
+    assert s[4] == 1.0
+    assert s[16] == 2.0
+    assert s[64] == 4.0
+    assert speedup_table({}) == {}
+
+
+def test_table_renders_aligned():
+    t = Table("Demo", ["name", "n", "time"])
+    t.add("alpha", 100, 1.2345)
+    t.add("b", 9, 0.001)
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[2]
+    assert len({len(l) for l in lines[2:5]}) <= 2  # consistent width
+
+
+def test_table_rejects_wrong_arity():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_float_formatting():
+    t = Table("f", ["v"])
+    t.add(1234567.0)
+    t.add(0.00001)
+    t.add(0.0)
+    t.add(3.14159)
+    out = t.render()
+    assert "1.23e+06" in out
+    assert "1.00e-05" in out
+
+
+def test_format_table_direct():
+    out = format_table("T", ["c1"], [["v1"], ["longer"]])
+    assert "T" in out and "longer" in out

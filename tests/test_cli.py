@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.sparse import CSCMatrix, write_harwell_boeing, write_matrix_market
+
+from conftest import random_nonsingular_dense
+
+
+@pytest.fixture
+def mtx_file(rng, tmp_path):
+    d = random_nonsingular_dense(rng, 20, zero_diag=True)
+    path = tmp_path / "sys.mtx"
+    write_matrix_market(CSCMatrix.from_dense(d), path)
+    return str(path)
+
+
+def test_solve_mtx(mtx_file, capsys):
+    assert main(["solve", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "backward error" in out
+    assert "refinement steps" in out
+
+
+def test_solve_writes_solution(mtx_file, tmp_path, capsys):
+    out_path = str(tmp_path / "x.txt")
+    assert main(["solve", mtx_file, "--output", out_path]) == 0
+    x = np.loadtxt(out_path)
+    assert x.shape == (20,)
+    assert np.abs(x - 1.0).max() < 1e-5
+
+
+def test_solve_with_rhs_file(mtx_file, tmp_path, rng, capsys):
+    rhs_path = str(tmp_path / "b.txt")
+    np.savetxt(rhs_path, np.ones(20))
+    assert main(["solve", mtx_file, "--rhs", rhs_path]) == 0
+
+
+def test_solve_option_flags(mtx_file, capsys):
+    assert main(["solve", mtx_file, "--row-perm", "mc64_bottleneck",
+                 "--no-scaling", "--extra-precision",
+                 "--error-bound"]) == 0
+    assert "error bound" in capsys.readouterr().out
+
+
+def test_solve_testbed_name(capsys):
+    assert main(["solve", "cfd01"]) == 0
+    assert "cfd01" in capsys.readouterr().out
+
+
+def test_analyze(mtx_file, capsys):
+    assert main(["analyze", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "StrSym" in out
+    assert "supernodes" in out
+    assert "solve levels" in out
+
+
+def test_analyze_hb_file(rng, tmp_path, capsys):
+    d = random_nonsingular_dense(rng, 12, hidden_perm=False)
+    path = tmp_path / "sys.rua"
+    write_harwell_boeing(CSCMatrix.from_dense(d), path)
+    assert main(["analyze", str(path)]) == 0
+
+
+def test_analyze_singular_exit_code(tmp_path, capsys):
+    d = np.zeros((3, 3))
+    d[:, 0] = 1.0
+    path = tmp_path / "sing.mtx"
+    write_matrix_market(CSCMatrix.from_dense(d), path)
+    assert main(["analyze", str(path)]) == 1
+
+
+def test_scaling(mtx_file, capsys):
+    assert main(["scaling", mtx_file, "--procs", "1", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "factor(ms)" in out
+
+
+def test_testbed_listing(capsys):
+    assert main(["testbed"]) == 0
+    out = capsys.readouterr().out
+    assert "cfd01" in out and "TWOTONEa" in out
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_iterative_command(capsys):
+    assert main(["iterative", "cfd02", "--method", "bicgstab",
+                 "--tol", "1e-8"]) == 0
+    out = capsys.readouterr().out
+    assert "iterations" in out
+
+
+def test_iterative_compare(capsys):
+    assert main(["iterative", "cfd01", "--compare", "--max-iter", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "with MC64" in out and "without MC64" in out

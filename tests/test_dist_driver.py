@@ -1,0 +1,109 @@
+"""Integration tests for the end-to-end distributed GESP solver."""
+
+import numpy as np
+import pytest
+
+from repro.driver import GESPOptions, GESPSolver
+from repro.driver.dist_driver import DistributedGESPSolver
+from repro.dmem import MachineModel, ProcessGrid
+from repro.sparse import CSCMatrix
+
+from conftest import laplace2d_dense, random_nonsingular_dense
+
+EPS = float(np.finfo(np.float64).eps)
+
+
+def test_end_to_end_accuracy(rng):
+    d = random_nonsingular_dense(rng, 50, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    s = DistributedGESPSolver(a, nprocs=6)
+    run = s.solve_distributed(d @ np.ones(50))
+    assert np.abs(run.x - 1.0).max() < 1e-6
+
+
+def test_refined_solve(rng):
+    d = random_nonsingular_dense(rng, 40, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    s = DistributedGESPSolver(a, nprocs=4)
+    rep = s.solve(d @ np.ones(40))
+    assert rep.berr <= 4 * EPS
+    assert np.abs(rep.x - 1.0).max() < 1e-8
+
+
+def test_solve_without_refinement(rng):
+    d = random_nonsingular_dense(rng, 30, hidden_perm=False)
+    s = DistributedGESPSolver(CSCMatrix.from_dense(d), nprocs=4)
+    rep = s.solve(d @ np.ones(30), refine=False)
+    assert rep.refine_steps == 0
+
+
+def test_matches_serial_gesp_solution(rng):
+    d = random_nonsingular_dense(rng, 45, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    b = d @ np.arange(1.0, 46.0)
+    serial = GESPSolver(a, GESPOptions(symbolic_method="symmetrized")).solve(b)
+    dist = DistributedGESPSolver(a, nprocs=9).solve(b)
+    assert np.allclose(serial.x, dist.x, atol=1e-6)
+
+
+def test_explicit_grid(rng):
+    d = random_nonsingular_dense(rng, 30, hidden_perm=False)
+    s = DistributedGESPSolver(CSCMatrix.from_dense(d),
+                              grid=ProcessGrid(3, 2))
+    assert s.grid.size == 6
+    run = s.solve_distributed(d @ np.ones(30))
+    assert np.abs(run.x - 1.0).max() < 1e-6
+
+
+def test_factorize_idempotent_entry(rng):
+    d = random_nonsingular_dense(rng, 25, hidden_perm=False)
+    s = DistributedGESPSolver(CSCMatrix.from_dense(d), nprocs=4)
+    run = s.factorize()
+    # solve_distributed must not re-factorize
+    assert s.factor_run is run
+    out = s.solve_distributed(d @ np.ones(25))
+    assert np.abs(out.x - 1.0).max() < 1e-6
+
+
+def test_block_size_respected(rng):
+    d = laplace2d_dense(8)
+    s = DistributedGESPSolver(CSCMatrix.from_dense(d), nprocs=4,
+                              max_block_size=3)
+    assert np.diff(s.part.xsup).max() <= 3
+
+
+def test_relaxation_increases_mean_supernode(rng):
+    d = laplace2d_dense(10)
+    a = CSCMatrix.from_dense(d)
+    s0 = DistributedGESPSolver(a, nprocs=4, relax_size=0)
+    s1 = DistributedGESPSolver(a, nprocs=4, relax_size=12)
+    assert s1.part.mean_size() >= s0.part.mean_size()
+    # both still solve correctly
+    for s in (s0, s1):
+        run = s.solve_distributed(d @ np.ones(a.ncols))
+        assert np.abs(run.x - 1.0).max() < 1e-7
+
+
+def test_postorder_composition_preserves_solution(rng):
+    # perm_c includes the postorder; the transforms must still invert
+    d = random_nonsingular_dense(rng, 35, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    s = DistributedGESPSolver(a, nprocs=4)
+    x_true = rng.standard_normal(35)
+    run = s.solve_distributed(d @ x_true)
+    assert np.abs(run.x - x_true).max() < 1e-5
+
+
+def test_machine_model_affects_elapsed(rng):
+    d = laplace2d_dense(8)
+    a = CSCMatrix.from_dense(d)
+    slow = MachineModel(alpha=1e-3, beta=1e-6)
+    fast = MachineModel.fast_network()
+    t_slow = DistributedGESPSolver(a, nprocs=4, machine=slow).factorize().elapsed
+    t_fast = DistributedGESPSolver(a, nprocs=4, machine=fast).factorize().elapsed
+    assert t_slow > t_fast
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        DistributedGESPSolver(CSCMatrix.empty(2, 3))

@@ -1,0 +1,124 @@
+"""Unit tests for the condition estimator, forward error bound, and
+Sherman-Morrison-Woodbury pivot recovery."""
+
+import numpy as np
+import pytest
+
+from repro.factor import gesp_factor
+from repro.solve import (
+    ShermanMorrisonSolver,
+    condest_1norm,
+    forward_error_bound,
+    solve_lower_t_csc,
+    solve_upper_t_csc,
+)
+from repro.sparse import CSCMatrix
+
+from conftest import random_nonsingular_dense
+
+
+def test_condest_identity():
+    est = condest_1norm(5, lambda v: v, lambda v: v)
+    assert est == pytest.approx(1.0, rel=0.5)
+
+
+def test_condest_diagonal():
+    d = np.array([1.0, 10.0, 100.0])
+    est = condest_1norm(3, lambda v: v / d, lambda v: v / d)
+    # ||inv(D)||_1 = 1 (max column sum of inv = 1/1 = 1)... inv(D) diagonal
+    # with entries 1, .1, .01: 1-norm = 1
+    assert est == pytest.approx(1.0, rel=0.5)
+
+
+def test_condest_close_to_truth(rng):
+    for _ in range(10):
+        n = int(rng.integers(3, 20))
+        d = random_nonsingular_dense(rng, n, hidden_perm=False)
+        inv = np.linalg.inv(d)
+        est = condest_1norm(n, lambda v: inv @ v, lambda v: inv.T @ v)
+        truth = np.abs(inv).sum(axis=0).max()
+        assert est <= truth * (1 + 1e-10)
+        assert est >= truth / 10.0  # Hager is rarely off by more than ~3x
+
+
+def test_condest_empty():
+    assert condest_1norm(0, lambda v: v, lambda v: v) == 0.0
+
+
+def test_forward_error_bound_covers_truth(rng):
+    for _ in range(10):
+        n = int(rng.integers(5, 30))
+        d = random_nonsingular_dense(rng, n, hidden_perm=False)
+        a = CSCMatrix.from_dense(d)
+        f = gesp_factor(a)
+        x_true = rng.standard_normal(n)
+        b = d @ x_true
+        x = f.solve(b)
+
+        def solve_t(v):
+            return solve_lower_t_csc(f.l, solve_upper_t_csc(f.u, v),
+                                     unit_diagonal=True)
+
+        bound = forward_error_bound(a, f.solve, solve_t, x, b)
+        truth = np.abs(x - x_true).max() / max(np.abs(x).max(), 1e-300)
+        assert bound >= truth * 0.3  # estimator slack
+
+
+def test_forward_error_bound_zero_solution():
+    a = CSCMatrix.identity(3)
+    f = gesp_factor(a)
+    bound = forward_error_bound(a, f.solve, f.solve, np.zeros(3), np.zeros(3))
+    assert bound == 0.0 or np.isinf(bound)
+
+
+# ---------------------- Sherman-Morrison-Woodbury ---------------------- #
+
+def test_smw_exact_recovery(rng):
+    for _ in range(10):
+        n = int(rng.integers(3, 20))
+        d = random_nonsingular_dense(rng, n, hidden_perm=False)
+        k = int(rng.integers(1, min(4, n)))
+        cols = rng.choice(n, size=k, replace=False).astype(np.int64)
+        deltas = rng.standard_normal(k) + 2.0
+        m = d.copy()
+        m[cols, cols] += deltas
+        if abs(np.linalg.det(m)) < 1e-8 or abs(np.linalg.det(d)) < 1e-8:
+            continue
+        sm = ShermanMorrisonSolver(n, lambda v, m=m: np.linalg.solve(m, v),
+                                   cols, deltas)
+        x_true = rng.standard_normal(n)
+        assert np.allclose(sm.solve(d @ x_true), x_true, atol=1e-7)
+
+
+def test_smw_no_perturbation_passthrough():
+    sm = ShermanMorrisonSolver(3, lambda v: 2.0 * np.asarray(v), [], [])
+    assert sm.rank == 0
+    assert np.allclose(sm.solve(np.ones(3)), 2.0)
+
+
+def test_smw_rejects_mismatched_deltas():
+    with pytest.raises(ValueError):
+        ShermanMorrisonSolver(3, lambda v: v, [0, 1], [1.0])
+
+
+def test_smw_singular_capacitance_raises():
+    # perturbing so that the *original* matrix is singular: the capacitance
+    # matrix becomes singular
+    m = np.eye(2)
+    cols = np.array([0])
+    deltas = np.array([1.0])  # original A = M - delta e0 e0^T = diag(0, 1)
+    with pytest.raises(ZeroDivisionError):
+        ShermanMorrisonSolver(2, lambda v: np.linalg.solve(m, v),
+                              cols, deltas)
+
+
+def test_smw_with_gesp_aggressive_policy():
+    d = np.array([[1.0, 1.0, 0.0],
+                  [1.0, 1.0, 1.0],
+                  [0.0, 5.0, 1.0]])
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a, pivot_policy="column_max")
+    assert f.n_tiny_pivots == 2  # the second replacement cascades from the first
+    sm = ShermanMorrisonSolver(3, f.solve, f.perturbed_columns, f.pivot_deltas)
+    x_true = np.array([1.0, -2.0, 3.0])
+    assert np.allclose(sm.solve(d @ x_true), x_true, atol=1e-9)

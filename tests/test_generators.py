@@ -1,0 +1,143 @@
+"""Unit tests for the domain-specific matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    anisotropic_poisson_3d,
+    chemical_process,
+    circuit_mna,
+    convection_diffusion_2d,
+    device_simulation_2d,
+    fem_stiffness_2d,
+    matrix_stats,
+    random_unsymmetric,
+    reservoir_7pt,
+    saddle_point_kkt,
+    twotone_like,
+)
+from repro.scaling import max_transversal
+from repro.sparse.ops import structural_symmetry
+
+
+def test_convection_diffusion_shape_and_symmetry():
+    a = convection_diffusion_2d(8, 6, peclet=50.0, seed=0)
+    assert a.shape == (48, 48)
+    st = matrix_stats(a)
+    assert st.str_sym == pytest.approx(1.0)   # 5-point pattern is symmetric
+    assert st.num_sym < 1.0                   # upwinding breaks values
+    assert st.zero_diagonals == 0
+    assert not st.structurally_singular
+
+
+def test_convection_diffusion_deterministic():
+    a = convection_diffusion_2d(6, seed=7)
+    b = convection_diffusion_2d(6, seed=7)
+    assert np.array_equal(a.nzval, b.nzval)
+    c = convection_diffusion_2d(6, seed=8)
+    assert not np.array_equal(a.nzval, c.nzval)
+
+
+def test_anisotropic_poisson():
+    a = anisotropic_poisson_3d(4, 4, 4, anisotropy=(1, 1, 100), seed=0)
+    assert a.shape == (64, 64)
+    st = matrix_stats(a)
+    assert st.str_sym == pytest.approx(1.0)
+    assert not st.structurally_singular
+    # rows are diagonally dominant by construction
+    d = a.to_dense()
+    assert np.all(np.abs(np.diag(d)) >=
+                  np.abs(d - np.diag(np.diag(d))).sum(axis=1) - 1e-9)
+
+
+def test_fem_stiffness_lagrange_zero_diag():
+    a = fem_stiffness_2d(6, lagrange_frac=0.2, seed=1)
+    st = matrix_stats(a)
+    assert st.zero_diagonals > 0
+    assert not st.structurally_singular
+
+
+def test_fem_stiffness_no_lagrange():
+    a = fem_stiffness_2d(5, lagrange_frac=0.0, seed=1)
+    assert matrix_stats(a).zero_diagonals == 0
+
+
+def test_saddle_point_zero_block():
+    a = saddle_point_kkt(20, 6, seed=2)
+    st = matrix_stats(a)
+    assert st.zero_diagonals >= 6  # the whole (2,2) block
+    assert not st.structurally_singular
+
+
+def test_circuit_mna_zero_diag_from_vsources():
+    a = circuit_mna(40, n_vsources=8, seed=3)
+    st = matrix_stats(a)
+    assert st.zero_diagonals == 8
+    assert not st.structurally_singular
+
+
+def test_circuit_mna_rejects_too_many_sources():
+    with pytest.raises(ValueError):
+        circuit_mna(5, n_vsources=6)
+
+
+def test_device_simulation_strongly_unsymmetric():
+    a = device_simulation_2d(10, field=10.0, seed=4)
+    st = matrix_stats(a)
+    assert st.str_sym == pytest.approx(1.0)
+    d = a.to_dense()
+    off = d - np.diag(np.diag(d))
+    ratio = np.abs(off).max() / max(np.abs(off[off != 0]).min(), 1e-300)
+    assert ratio > 1e3  # exponential Bernoulli weights span decades
+
+
+def test_chemical_process_character():
+    a = chemical_process(12, comps=4, seed=5)
+    st = matrix_stats(a)
+    assert st.zero_diagonals > 0
+    assert st.str_sym < 1.0
+    assert not st.structurally_singular
+
+
+def test_reservoir():
+    a = reservoir_7pt(5, 5, 3, seed=6)
+    assert a.shape == (75, 75)
+    assert not matrix_stats(a).structurally_singular
+
+
+def test_random_unsymmetric_zero_diag_fraction():
+    a = random_unsymmetric(100, density=0.05, diag_zero_frac=1.0, seed=7)
+    st = matrix_stats(a)
+    # the hidden transversal keeps it structurally nonsingular even with a
+    # fully zero diagonal (up to permutation fixed points)
+    assert not st.structurally_singular
+    assert st.zero_diagonals > 80
+
+
+def test_twotone_like_small_supernodes():
+    from repro.symbolic import block_partition, symbolic_lu_symmetrized
+    from repro.driver.dist_driver import DistributedGESPSolver
+
+    a = twotone_like(60, seed=8)
+    st = matrix_stats(a)
+    assert st.str_sym < 0.6  # highly structurally unsymmetric
+    s = DistributedGESPSolver(a, nprocs=2)
+    assert s.part.mean_size() < 8.0
+
+
+def test_generators_all_solvable():
+    from repro.driver import GESPSolver
+
+    for a in (convection_diffusion_2d(6, seed=0),
+              device_simulation_2d(6, seed=0),
+              circuit_mna(30, n_vsources=5, seed=0),
+              fem_stiffness_2d(4, lagrange_frac=0.1, seed=0),
+              chemical_process(8, seed=0),
+              saddle_point_kkt(15, 5, seed=0),
+              reservoir_7pt(4, 4, 2, seed=0),
+              random_unsymmetric(50, diag_zero_frac=0.5, seed=0),
+              twotone_like(25, seed=0)):
+        n = a.ncols
+        b = a @ np.ones(n)
+        rep = GESPSolver(a).solve(b)
+        assert np.abs(rep.x - 1.0).max() < 1e-5, a

@@ -1,0 +1,71 @@
+"""Tests for the additional domain generators (MHD, structural, Markov)."""
+
+import numpy as np
+import pytest
+
+from repro.driver import GESPSolver
+from repro.matrices import (
+    magnetohydrodynamics_2d,
+    markov_chain_transition,
+    matrix_stats,
+    structural_frame_3d,
+)
+
+
+def test_mhd_shape_and_coupling():
+    a = magnetohydrodynamics_2d(6, 5, hartmann=20.0, seed=1)
+    assert a.shape == (60, 60)
+    st = matrix_stats(a)
+    assert not st.structurally_singular
+    assert st.str_sym == pytest.approx(1.0)
+    # cross-coupling is antisymmetric in sign -> NumSym strictly below 1
+    assert st.num_sym < 1.0
+
+
+def test_mhd_coupling_strength_scales():
+    weak = magnetohydrodynamics_2d(5, hartmann=0.1, seed=2).to_dense()
+    strong = magnetohydrodynamics_2d(5, hartmann=100.0, seed=2).to_dense()
+    off_w = abs(weak[0, 1])
+    off_s = abs(strong[0, 1])
+    assert off_s > 100 * off_w
+
+
+def test_structural_frame():
+    a = structural_frame_3d(3, 3, 3, seed=3)
+    assert a.shape == (81, 81)
+    st = matrix_stats(a)
+    assert not st.structurally_singular
+    assert st.zero_diagonals == 0
+
+
+def test_markov_chain_character():
+    a = markov_chain_transition(150, seed=4)
+    st = matrix_stats(a)
+    assert not st.structurally_singular
+    assert st.str_sym < 0.8  # strongly unsymmetric
+    # columns of I - P^T sum to ~the regularization (tiny)
+    colsums = a.to_dense().sum(axis=0)
+    assert np.all(np.abs(colsums - 1e-8) < 1e-9)
+
+
+def test_all_extra_generators_solvable(rng):
+    for a in (magnetohydrodynamics_2d(6, hartmann=15.0, seed=0),
+              structural_frame_3d(3, 3, 2, seed=0),
+              markov_chain_transition(80, seed=0)):
+        n = a.ncols
+        x_true = rng.standard_normal(n)
+        rep = GESPSolver(a).solve(a @ x_true)
+        assert rep.berr <= 1e-12
+        # the Markov matrix is near-singular by construction; the others
+        # should resolve x accurately
+        if a.ncols != 80:
+            assert np.abs(rep.x - x_true).max() < 1e-5
+
+
+def test_generators_deterministic():
+    a = magnetohydrodynamics_2d(5, seed=9)
+    b = magnetohydrodynamics_2d(5, seed=9)
+    assert np.array_equal(a.nzval, b.nzval)
+    c = markov_chain_transition(50, seed=9)
+    d = markov_chain_transition(50, seed=9)
+    assert np.array_equal(c.nzval, d.nzval)

@@ -1,0 +1,104 @@
+"""Unit tests for the Gilbert-Peierls partial-pivoting baseline."""
+
+import numpy as np
+import pytest
+
+from repro.factor import gepp_factor
+from repro.sparse import CSCMatrix
+
+from conftest import random_nonsingular_dense, random_sparse_dense
+
+
+def permutation_matrix(perm):
+    n = perm.size
+    p = np.zeros((n, n))
+    p[perm, np.arange(n)] = 1.0
+    return p
+
+
+def test_pa_equals_lu(rng):
+    for _ in range(20):
+        n = int(rng.integers(2, 30))
+        d = random_nonsingular_dense(rng, n)
+        f = gepp_factor(CSCMatrix.from_dense(d))
+        pm = permutation_matrix(f.perm_r)
+        assert np.allclose(f.l.to_dense() @ f.u.to_dense(), pm @ d, atol=1e-9)
+
+
+def test_matches_numpy_pivots(rng):
+    # with u=1.0 the pivot magnitudes must match classic partial pivoting:
+    # |L| entries all <= 1
+    d = random_nonsingular_dense(rng, 25)
+    f = gepp_factor(CSCMatrix.from_dense(d))
+    assert np.abs(f.l.to_dense()).max() <= 1.0 + 1e-12
+
+
+def test_solve(rng):
+    d = random_nonsingular_dense(rng, 25)
+    a = CSCMatrix.from_dense(d)
+    f = gepp_factor(a)
+    x = rng.standard_normal(25)
+    assert np.allclose(f.solve(d @ x), x, atol=1e-7)
+
+
+def test_handles_zero_diagonal(rng):
+    d = random_nonsingular_dense(rng, 15, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    f = gepp_factor(a)
+    pm = permutation_matrix(f.perm_r)
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), pm @ d, atol=1e-9)
+
+
+def test_singular_raises(rng):
+    d = np.zeros((3, 3))
+    d[:, 0] = [1.0, 2.0, 3.0]
+    d[:, 1] = [2.0, 4.0, 6.0]  # numerically dependent
+    d[0, 2] = 0.0  # column 2 entirely zero -> no pivot candidates
+    with pytest.raises(ZeroDivisionError):
+        gepp_factor(CSCMatrix.from_dense(d))
+
+
+def test_threshold_pivoting_bounds_l(rng):
+    d = random_nonsingular_dense(rng, 20)
+    a = CSCMatrix.from_dense(d)
+    u = 0.1
+    f = gepp_factor(a, pivot_threshold=u)
+    assert np.abs(f.l.to_dense()).max() <= 1.0 / u + 1e-9
+
+
+def test_prefer_diagonal(rng):
+    # diagonally dominant: with prefer_diagonal the diagonal must be chosen
+    d = random_sparse_dense(rng, 12, density=0.4)
+    np.fill_diagonal(d, 100.0 + rng.random(12))
+    a = CSCMatrix.from_dense(d)
+    f = gepp_factor(a, pivot_threshold=0.5, prefer_diagonal=True)
+    assert np.array_equal(f.perm_r, np.arange(12))
+
+
+def test_invalid_threshold():
+    with pytest.raises(ValueError):
+        gepp_factor(CSCMatrix.identity(2), pivot_threshold=0.0)
+    with pytest.raises(ValueError):
+        gepp_factor(CSCMatrix.identity(2), pivot_threshold=1.5)
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        gepp_factor(CSCMatrix.empty(2, 3))
+
+
+def test_stability_on_growth_case():
+    # the classic GE growth matrix: partial pivoting keeps it tame
+    n = 12
+    d = np.tril(-np.ones((n, n)), -1) + np.eye(n)
+    d[:, -1] = 1.0
+    a = CSCMatrix.from_dense(d)
+    f = gepp_factor(a)
+    x = np.ones(n)
+    assert np.allclose(f.solve(d @ x), x, atol=1e-8)
+
+
+def test_flops_counted(rng):
+    d = random_nonsingular_dense(rng, 10)
+    f = gepp_factor(CSCMatrix.from_dense(d))
+    assert f.flops > 0

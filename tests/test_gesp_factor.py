@@ -1,0 +1,146 @@
+"""Unit tests for the GESP static-pivoting factorization kernel."""
+
+import numpy as np
+import pytest
+
+from repro.factor import gesp_factor
+from repro.sparse import CSCMatrix
+from repro.symbolic import symbolic_lu_symmetrized
+
+from conftest import dense_lu_nopivot, laplace2d_dense, random_nonsingular_dense
+
+
+def test_lu_equals_a(rng):
+    for _ in range(15):
+        n = int(rng.integers(2, 30))
+        d = random_nonsingular_dense(rng, n, hidden_perm=False)
+        f = gesp_factor(CSCMatrix.from_dense(d))
+        assert np.allclose(f.l.to_dense() @ f.u.to_dense(), d, atol=1e-9)
+
+
+def test_matches_dense_ground_truth(rng):
+    d = random_nonsingular_dense(rng, 15, hidden_perm=False)
+    f = gesp_factor(CSCMatrix.from_dense(d), replace_tiny_pivots=False)
+    lref, uref = dense_lu_nopivot(d)
+    assert np.allclose(f.l.to_dense(), lref, atol=1e-10)
+    assert np.allclose(f.u.to_dense(), uref, atol=1e-10)
+
+
+def test_l_unit_diagonal(rng):
+    d = random_nonsingular_dense(rng, 10, hidden_perm=False)
+    f = gesp_factor(CSCMatrix.from_dense(d))
+    assert np.allclose(np.diag(f.l.to_dense()), 1.0)
+
+
+def test_solve_round_trip(rng):
+    d = random_nonsingular_dense(rng, 20, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a)
+    x = rng.standard_normal(20)
+    b = d @ x
+    assert np.allclose(f.solve(b), x, atol=1e-6)
+
+
+def test_tiny_pivot_replacement_counts():
+    # a matrix whose (1,1) pivot becomes exactly zero during elimination
+    d = np.array([[1.0, 1.0, 0.0],
+                  [1.0, 1.0, 1.0],
+                  [0.0, 1.0, 1.0]])
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a, replace_tiny_pivots=True)
+    assert f.n_tiny_pivots == 1
+    assert f.perturbed_columns.tolist() == [1]
+    assert f.pivot_deltas.size == 1
+    # LU = A + delta e1 e1^T exactly
+    e = np.zeros((3, 3))
+    e[1, 1] = f.pivot_deltas[0]
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), d + e, atol=1e-12)
+
+
+def test_zero_pivot_raises_without_replacement():
+    d = np.array([[1.0, 1.0], [1.0, 1.0]])
+    with pytest.raises(ZeroDivisionError):
+        gesp_factor(CSCMatrix.from_dense(d), replace_tiny_pivots=False)
+
+
+def test_structural_zero_pivot_raises_without_replacement():
+    d = np.array([[0.0, 1.0], [1.0, 1.0]])
+    with pytest.raises(ZeroDivisionError):
+        gesp_factor(CSCMatrix.from_dense(d), replace_tiny_pivots=False)
+
+
+def test_column_max_policy():
+    d = np.array([[1.0, 1.0, 0.0],
+                  [1.0, 1.0, 1.0],
+                  [0.0, 5.0, 1.0]])
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a, pivot_policy="column_max")
+    # column 1's zero pivot is replaced by the column max (5.0), which in
+    # turn drives column 2's pivot tiny — a second replacement: the
+    # cascading cost of the aggressive policy the paper pairs with SMW
+    assert f.n_tiny_pivots == 2
+    assert abs(f.u.get(1, 1)) == pytest.approx(5.0)
+    e = np.zeros((3, 3))
+    e[f.perturbed_columns, f.perturbed_columns] = f.pivot_deltas
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), d + e, atol=1e-12)
+
+
+def test_unknown_pivot_policy():
+    with pytest.raises(ValueError):
+        gesp_factor(CSCMatrix.identity(2), pivot_policy="wat")
+
+
+def test_threshold_scales_with_norm(rng):
+    d = random_nonsingular_dense(rng, 8, hidden_perm=False) * 1e6
+    f = gesp_factor(CSCMatrix.from_dense(d))
+    eps = np.finfo(np.float64).eps
+    from repro.sparse.ops import norm1
+
+    assert f.tiny_pivot_threshold == pytest.approx(
+        np.sqrt(eps) * norm1(CSCMatrix.from_dense(d)))
+
+
+def test_custom_tiny_pivot_scale():
+    d = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-4]])
+    a = CSCMatrix.from_dense(d)
+    # large threshold: the 1e-4 pivot is "tiny"
+    f = gesp_factor(a, tiny_pivot_scale=1e-2)
+    assert f.n_tiny_pivots == 1
+    # small threshold: it is fine
+    f2 = gesp_factor(a, tiny_pivot_scale=1e-8)
+    assert f2.n_tiny_pivots == 0
+
+
+def test_symmetrized_symbolic_method(rng):
+    d = random_nonsingular_dense(rng, 12, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a, symbolic_method="symmetrized")
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), d, atol=1e-9)
+
+
+def test_precomputed_symbolic_reused(rng):
+    d = random_nonsingular_dense(rng, 10, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    f = gesp_factor(a, sym=sym)
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), d, atol=1e-9)
+
+
+def test_flops_positive_and_bounded(rng):
+    a = CSCMatrix.from_dense(laplace2d_dense(5))
+    f = gesp_factor(a)
+    sym_bound = __import__("repro.symbolic.fill", fromlist=["symbolic_lu"]) \
+        .symbolic_lu(a).factor_flops()
+    assert 0 < f.flops <= sym_bound
+
+
+def test_pivot_growth_modest_for_dominant(rng):
+    d = random_nonsingular_dense(rng, 15, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a)
+    assert f.pivot_growth(a) < 100.0
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        gesp_factor(CSCMatrix.empty(2, 3))

@@ -1,0 +1,101 @@
+"""Additional I/O and format edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    read_harwell_boeing,
+    read_matrix_market,
+    write_harwell_boeing,
+    write_matrix_market,
+)
+
+
+def test_mm_rectangular(rng, tmp_path):
+    d = rng.standard_normal((3, 7)) * (rng.random((3, 7)) < 0.5)
+    a = CSCMatrix.from_dense(d)
+    path = tmp_path / "rect.mtx"
+    write_matrix_market(a, path)
+    b = read_matrix_market(str(path))
+    assert b.shape == (3, 7)
+    assert np.allclose(b.to_dense(), d)
+
+
+def test_mm_empty_matrix(tmp_path):
+    a = CSCMatrix.empty(4, 4)
+    path = tmp_path / "empty.mtx"
+    write_matrix_market(a, path)
+    b = read_matrix_market(str(path))
+    assert b.nnz == 0
+    assert b.shape == (4, 4)
+
+
+def test_mm_multiline_comment(tmp_path, rng):
+    a = CSCMatrix.identity(2)
+    path = tmp_path / "c.mtx"
+    write_matrix_market(a, path, comment="line one\nline two")
+    text = path.read_text()
+    assert "% line one" in text and "% line two" in text
+    assert np.allclose(read_matrix_market(str(path)).to_dense(), np.eye(2))
+
+
+def test_mm_integer_field():
+    lines = [
+        "%%MatrixMarket matrix coordinate integer general",
+        "2 2 2",
+        "1 1 3", "2 2 -4",
+    ]
+    a = read_matrix_market(lines)
+    assert a.get(0, 0) == 3.0 and a.get(1, 1) == -4.0
+
+
+def test_hb_empty_matrix(tmp_path):
+    a = CSCMatrix.empty(3, 3)
+    path = tmp_path / "e.rua"
+    write_harwell_boeing(a, path)
+    b = read_harwell_boeing(str(path))
+    assert b.nnz == 0 and b.shape == (3, 3)
+
+
+def test_hb_fortran_d_exponents():
+    lines = [
+        f"{'d-exp':<72}{'DEXP':<8}",
+        f"{3:14d}{1:14d}{1:14d}{1:14d}{0:14d}",
+        f"{'RUA':<14}{1:14d}{1:14d}{1:14d}{0:14d}",
+        f"{'(8I8)':<16}{'(8I8)':<16}{'(4E20.12)':<20}{'':<20}",
+        "       1       2",
+        "       1",
+        "  1.5D+02",
+    ]
+    a = read_harwell_boeing(lines)
+    assert a.get(0, 0) == 150.0
+
+
+def test_hb_title_key_truncation(tmp_path):
+    a = CSCMatrix.identity(2)
+    path = tmp_path / "t.rua"
+    write_harwell_boeing(a, path, title="x" * 200, key="toolongkey123")
+    line1 = path.read_text().splitlines()[0]
+    assert len(line1) == 80
+    assert np.allclose(read_harwell_boeing(str(path)).to_dense(), np.eye(2))
+
+
+def test_coo_large_duplicate_collapse(rng):
+    # many duplicates across several cells
+    r = np.repeat(np.arange(3), 10)
+    c = np.repeat(np.arange(3), 10)
+    v = np.ones(30)
+    a = COOMatrix(3, 3, r, c, v).to_csc()
+    assert a.nnz == 3
+    assert np.allclose(np.diag(a.to_dense()), 10.0)
+
+
+def test_mm_complex_rejected():
+    # the reader currently supports real/integer/pattern only; a clear
+    # error beats silent misparsing
+    lines = ["%%MatrixMarket matrix coordinate complex general", "1 1 1",
+             "1 1 1.0 2.0"]
+    with pytest.raises(ValueError):
+        read_matrix_market(lines)

@@ -1,0 +1,182 @@
+"""Unit tests for bipartite matchings: transversal, bottleneck, assignment."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.scaling import (
+    StructurallySingularError,
+    bottleneck_matching,
+    max_transversal,
+    sparse_assignment,
+)
+from repro.sparse import CSCMatrix
+
+
+def brute_best_product(d):
+    n = d.shape[0]
+    best = -np.inf
+    for perm in permutations(range(n)):
+        vals = [abs(d[perm[j], j]) for j in range(n)]
+        if min(vals) > 0:
+            best = max(best, float(np.sum(np.log(vals))))
+    return best
+
+
+def brute_best_bottleneck(d):
+    n = d.shape[0]
+    best = 0.0
+    for perm in permutations(range(n)):
+        vals = [abs(d[perm[j], j]) for j in range(n)]
+        if min(vals) > 0:
+            best = max(best, min(vals))
+    return best
+
+
+def make_structurally_nonsingular(rng, n, density=0.5):
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    p = rng.permutation(n)
+    for j in range(n):
+        if d[p[j], j] == 0.0:
+            d[p[j], j] = 1.0 + rng.random()
+    return d
+
+
+# --------------------------------------------------------------------- #
+
+def test_max_transversal_identity():
+    a = CSCMatrix.identity(4)
+    rowof = max_transversal(a, require_perfect=True)
+    assert np.array_equal(rowof, np.arange(4))
+
+
+def test_max_transversal_permutation(rng):
+    n = 6
+    p = rng.permutation(n)
+    d = np.zeros((n, n))
+    d[p, np.arange(n)] = 1.0
+    a = CSCMatrix.from_dense(d)
+    rowof = max_transversal(a, require_perfect=True)
+    assert np.array_equal(rowof, p)
+
+
+def test_max_transversal_needs_augmentation():
+    # cheap assignment alone fails here; augmenting paths required
+    d = np.array([[1.0, 1.0, 0.0],
+                  [1.0, 0.0, 1.0],
+                  [1.0, 0.0, 0.0]])
+    a = CSCMatrix.from_dense(d)
+    rowof = max_transversal(a, require_perfect=True)
+    # the only perfect matching: col0->row2, col1->row0, col2->row1
+    assert rowof.tolist() == [2, 0, 1]
+
+
+def test_max_transversal_detects_singular():
+    d = np.array([[1.0, 1.0, 0.0],
+                  [1.0, 1.0, 0.0],
+                  [0.0, 0.0, 1.0]])
+    d[2, 2] = 1.0
+    d[0, 2] = 1.0  # columns 0,1 both only rows 0,1; col 2 any — fine
+    d2 = np.array([[1.0, 1.0, 1.0],
+                   [1.0, 1.0, 1.0],
+                   [0.0, 0.0, 0.0]])  # row 2 empty -> structurally singular
+    a = CSCMatrix.from_dense(d2)
+    with pytest.raises(StructurallySingularError):
+        max_transversal(a, require_perfect=True)
+    assert np.sum(max_transversal(a) >= 0) == 2
+
+
+def test_max_transversal_random_sizes(rng):
+    for _ in range(30):
+        n = int(rng.integers(2, 15))
+        d = make_structurally_nonsingular(rng, n)
+        a = CSCMatrix.from_dense(d)
+        rowof = max_transversal(a, require_perfect=True)
+        assert sorted(rowof.tolist()) == list(range(n))
+        for j in range(n):
+            assert d[rowof[j], j] != 0.0
+
+
+def test_bottleneck_matches_brute_force(rng):
+    for _ in range(40):
+        n = int(rng.integers(2, 6))
+        d = make_structurally_nonsingular(rng, n, density=0.7)
+        a = CSCMatrix.from_dense(d)
+        rowof, val = bottleneck_matching(a)
+        assert val == pytest.approx(brute_best_bottleneck(d))
+        got = min(abs(d[rowof[j], j]) for j in range(n))
+        assert got == pytest.approx(val)
+
+
+def test_sparse_assignment_matches_brute_force(rng):
+    for _ in range(40):
+        n = int(rng.integers(2, 6))
+        d = make_structurally_nonsingular(rng, n, density=0.7)
+        a = CSCMatrix.from_dense(d).prune_zeros()
+        mags = np.abs(a.nzval)
+        colmax = np.array([mags[a.colptr[j]:a.colptr[j + 1]].max()
+                           for j in range(n)])
+        cols = np.repeat(np.arange(n), np.diff(a.colptr))
+        cost = np.log(colmax[cols]) - np.log(mags)
+        rowof, u, v = sparse_assignment(n, a.colptr, a.rowind, cost)
+        # objective: min sum cost == max sum log|a| (up to colmax constant)
+        got = sum(np.log(abs(d[rowof[j], j])) for j in range(n))
+        assert got == pytest.approx(brute_best_product(d), abs=1e-8)
+
+
+def test_sparse_assignment_duals_feasible(rng):
+    for _ in range(20):
+        n = int(rng.integers(2, 10))
+        d = make_structurally_nonsingular(rng, n, density=0.6)
+        a = CSCMatrix.from_dense(d).prune_zeros()
+        cost = np.abs(a.nzval)  # arbitrary nonnegative costs
+        rowof, u, v = sparse_assignment(n, a.colptr, a.rowind, cost)
+        cols = np.repeat(np.arange(n), np.diff(a.colptr))
+        slack = cost - u[a.rowind] - v[cols]
+        assert np.all(slack >= -1e-9)
+        # complementary slackness on the matching
+        for j in range(n):
+            i = rowof[j]
+            lo, hi = a.colptr[j], a.colptr[j + 1]
+            k = lo + int(np.searchsorted(a.rowind[lo:hi], i))
+            assert abs(cost[k] - u[i] - v[j]) < 1e-8
+
+
+def test_sparse_assignment_rejects_empty_column():
+    with pytest.raises(StructurallySingularError):
+        sparse_assignment(2, np.array([0, 1, 1]), np.array([0]),
+                          np.array([1.0]))
+
+
+def test_sparse_assignment_rejects_infinite_cost():
+    with pytest.raises(ValueError):
+        sparse_assignment(1, np.array([0, 1]), np.array([0]),
+                          np.array([np.inf]))
+
+
+def test_sparse_assignment_structurally_singular():
+    # both columns can only match row 0
+    colptr = np.array([0, 1, 2])
+    rowind = np.array([0, 0])
+    cost = np.array([1.0, 2.0])
+    with pytest.raises(StructurallySingularError):
+        sparse_assignment(2, colptr, rowind, cost)
+
+
+def test_sparse_assignment_against_scipy(rng):
+    scipy = pytest.importorskip("scipy.optimize")
+    for _ in range(20):
+        n = int(rng.integers(3, 12))
+        d = make_structurally_nonsingular(rng, n, density=0.8)
+        a = CSCMatrix.from_dense(d).prune_zeros()
+        cost = rng.random(a.nnz)
+        rowof, u, v = sparse_assignment(n, a.colptr, a.rowind, cost)
+        # dense cost matrix with big-M for structural zeros
+        cols = np.repeat(np.arange(n), np.diff(a.colptr))
+        dense = np.full((n, n), 1e6)
+        dense[a.rowind, cols] = cost
+        ri, ci = scipy.linear_sum_assignment(dense)
+        ref = dense[ri, ci].sum()
+        got = sum(dense[rowof[j], j] for j in range(n))
+        assert got == pytest.approx(ref, abs=1e-9)

@@ -1,0 +1,163 @@
+"""Unit tests for fill-reducing orderings (MMD, column orderings, ND, RCM)."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    column_ordering,
+    minimum_degree,
+    nested_dissection,
+    reverse_cuthill_mckee,
+)
+from repro.sparse import CSCMatrix, permute_symmetric
+
+from conftest import laplace2d_dense
+
+
+def symbolic_fill_count(dense_pattern):
+    """nnz(L) of the Cholesky factor of a symmetric pattern."""
+    n = dense_pattern.shape[0]
+    pat = dense_pattern.copy()
+    np.fill_diagonal(pat, True)
+    count = 0
+    for k in range(n):
+        rows = np.nonzero(pat[k + 1:, k])[0] + k + 1
+        count += rows.size + 1
+        for r in rows:
+            pat[r, rows] = True
+    return count
+
+
+def fill_under(perm, a):
+    p = permute_symmetric(a, perm)
+    return symbolic_fill_count(p.to_dense() != 0)
+
+
+@pytest.fixture
+def grid_matrix():
+    return CSCMatrix.from_dense(laplace2d_dense(8))
+
+
+def test_mmd_is_permutation(rng):
+    for _ in range(15):
+        n = int(rng.integers(2, 40))
+        d = rng.random((n, n)) < 0.2
+        d = d | d.T
+        a = CSCMatrix.from_dense(d.astype(float))
+        p = minimum_degree(a)
+        assert sorted(p.tolist()) == list(range(n))
+
+
+def test_mmd_reduces_fill_on_grid(grid_matrix):
+    n = grid_matrix.ncols
+    natural = fill_under(np.arange(n), grid_matrix)
+    md = fill_under(minimum_degree(grid_matrix), grid_matrix)
+    assert md < natural
+
+
+def test_mmd_single_vs_multiple_both_valid(grid_matrix):
+    n = grid_matrix.ncols
+    p1 = minimum_degree(grid_matrix, multiple=False)
+    p2 = minimum_degree(grid_matrix, multiple=True)
+    assert sorted(p1.tolist()) == list(range(n))
+    assert sorted(p2.tolist()) == list(range(n))
+    natural = fill_under(np.arange(n), grid_matrix)
+    assert fill_under(p1, grid_matrix) < natural
+    assert fill_under(p2, grid_matrix) < natural
+
+
+def test_mmd_diagonal_matrix():
+    a = CSCMatrix.identity(5)
+    p = minimum_degree(a)
+    assert sorted(p.tolist()) == list(range(5))
+
+
+def test_mmd_rejects_rectangular():
+    with pytest.raises(ValueError):
+        minimum_degree(CSCMatrix.empty(2, 3))
+
+
+def test_mmd_dense_matrix():
+    a = CSCMatrix.from_dense(np.ones((6, 6)))
+    p = minimum_degree(a)
+    assert sorted(p.tolist()) == list(range(6))
+
+
+def test_nested_dissection_reduces_fill():
+    a = CSCMatrix.from_dense(laplace2d_dense(10))
+    n = a.ncols
+    natural = fill_under(np.arange(n), a)
+    nd = fill_under(nested_dissection(a, leaf_size=8), a)
+    assert nd < natural
+
+
+def test_nested_dissection_permutation(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 50))
+        d = rng.random((n, n)) < 0.15
+        d = d | d.T
+        a = CSCMatrix.from_dense(d.astype(float))
+        p = nested_dissection(a)
+        assert sorted(p.tolist()) == list(range(n))
+
+
+def test_rcm_reduces_bandwidth():
+    # a randomly permuted band matrix: RCM should recover a small bandwidth
+    rng = np.random.default_rng(0)
+    n = 40
+    d = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(max(0, i - 2), min(n, i + 3)):
+            d[i, j] = True
+    p = rng.permutation(n)
+    dp = d[np.ix_(p, p)]
+    a = CSCMatrix.from_dense(dp.astype(float))
+    perm = reverse_cuthill_mckee(a)
+    reordered = permute_symmetric(a, perm).to_dense() != 0
+    i, j = np.nonzero(reordered)
+    bw = np.abs(i - j).max()
+    i0, j0 = np.nonzero(dp)
+    assert bw <= np.abs(i0 - j0).max()
+    assert bw <= 6
+
+
+def test_rcm_permutation_on_forest():
+    # disconnected graph: two components
+    d = np.zeros((6, 6))
+    d[0, 1] = d[1, 0] = 1.0
+    d[3, 4] = d[4, 3] = 1.0
+    a = CSCMatrix.from_dense(d)
+    p = reverse_cuthill_mckee(a)
+    assert sorted(p.tolist()) == list(range(6))
+
+
+@pytest.mark.parametrize("method", ["mmd_ata", "mmd_at_plus_a", "colamd",
+                                    "nd_ata", "natural"])
+def test_column_ordering_valid(method, rng):
+    n = 25
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.2)
+    np.fill_diagonal(d, 1.0)
+    a = CSCMatrix.from_dense(d)
+    p = column_ordering(a, method=method)
+    assert sorted(p.tolist()) == list(range(n))
+
+
+def test_column_ordering_natural_is_identity():
+    a = CSCMatrix.identity(4)
+    assert np.array_equal(column_ordering(a, "natural"), np.arange(4))
+
+
+def test_column_ordering_unknown_method():
+    with pytest.raises(ValueError):
+        column_ordering(CSCMatrix.identity(3), method="bogus")
+
+
+def test_column_ordering_reduces_lu_fill():
+    from repro.symbolic import symbolic_lu_unsymmetric
+    from repro.sparse.ops import permute_symmetric as psym
+
+    a = CSCMatrix.from_dense(laplace2d_dense(7))
+    natural_fill = symbolic_lu_unsymmetric(a).nnz_lu
+    p = column_ordering(a, "mmd_ata")
+    fill = symbolic_lu_unsymmetric(psym(a, p)).nnz_lu
+    assert fill < natural_fill

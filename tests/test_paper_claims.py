@@ -1,0 +1,134 @@
+"""Integration tests asserting the paper's Section 2/3 claims hold at
+testbed scale (fast subset; the full sweeps live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.driver import GESPOptions, GESPSolver
+from repro.factor import gepp_factor
+from repro.matrices import matrix_stats
+from repro.matrices import testbed_53 as _testbed_53
+from repro.sparse.ops import permute_rows
+
+EPS = float(np.finfo(np.float64).eps)
+
+# a representative slice of the testbed: one per discipline + hard cases
+SUBSET = ["cfd03", "device03", "circuit02", "hb01", "fem04", "chem03",
+          "resv02", "kkt02", "gen03", "gen04"]
+
+
+@pytest.fixture(scope="module")
+def solved_subset():
+    out = {}
+    for name in SUBSET:
+        from repro.matrices import matrix_by_name
+
+        a = matrix_by_name(name).build()
+        b = a @ np.ones(a.ncols)
+        s = GESPSolver(a)
+        out[name] = (a, b, s, s.solve(b))
+    return out
+
+
+def test_berr_near_eps_for_all(solved_subset):
+    """Figure 5: berr 'usually near machine epsilon, never larger than
+    ~1e-15 at this scale'."""
+    for name, (a, b, s, rep) in solved_subset.items():
+        assert rep.berr <= 8 * EPS, (name, rep.berr)
+
+
+def test_refinement_steps_small(solved_subset):
+    """Figure 3: 'most matrices terminate the iteration with no more than
+    3 steps'."""
+    for name, (a, b, s, rep) in solved_subset.items():
+        assert rep.refine_steps <= 3, (name, rep.refine_steps)
+
+
+def test_gesp_error_comparable_to_gepp(solved_subset):
+    """Figure 4: GESP's error is at most a little larger than GEPP's and
+    usually smaller.  At subset scale: never more than 100x worse, and
+    both resolve the solution."""
+    wins = 0
+    for name, (a, b, s, rep) in solved_subset.items():
+        gepp = gepp_factor(a)
+        x_gepp = gepp.solve(b)
+        e_gesp = np.abs(rep.x - 1.0).max()
+        e_gepp = np.abs(x_gepp - 1.0).max()
+        assert e_gesp <= max(100 * e_gepp, 1e-8), (name, e_gesp, e_gepp)
+        if e_gesp <= e_gepp:
+            wins += 1
+    assert wins >= len(SUBSET) // 3  # GESP wins a decent share
+
+
+def test_no_pivoting_fails_on_zero_diag_matrices():
+    """§2.2: matrices with structural zero diagonals fail completely
+    without any pivoting."""
+    from repro.matrices import matrix_by_name
+
+    failures = 0
+    for name in ["circuit02", "chem03", "kkt02", "gen04"]:
+        a = matrix_by_name(name).build()
+        st = matrix_stats(a)
+        assert st.zero_diagonals > 0
+        try:
+            GESPSolver(a, GESPOptions.no_pivoting()).solve(a @ np.ones(a.ncols))
+        except ZeroDivisionError:
+            failures += 1
+    # most break down outright; occasionally the fill-reducing ordering
+    # happens to fill a zero diagonal before it pivots (the paper's "5 more
+    # create zeros during elimination" nuance runs in both directions)
+    assert failures >= 3
+
+
+def test_mc64_repairs_the_diagonal():
+    """§2.1: the step-(1) permutation gives every zero-diagonal matrix a
+    structurally zero-free, |.|=1 diagonal."""
+    from repro.matrices import matrix_by_name
+    from repro.scaling import mc64
+
+    a = matrix_by_name("kkt02").build()
+    res = mc64(a, job="product", scale=True)
+    b = res.apply(a)
+    d = np.abs(b.diagonal())
+    assert np.all(d > 0.99)
+
+
+def test_row_perm_needed_even_with_refinement():
+    """Without the static pivot choice, refinement alone cannot rescue a
+    zero-pivot breakdown (division error) on a fully zero diagonal."""
+    from repro.matrices import matrix_by_name
+
+    a = matrix_by_name("gen04").build()
+    opts = GESPOptions(row_perm="none", scale_diagonal=False,
+                       replace_tiny_pivots=False)
+    with pytest.raises(ZeroDivisionError):
+        GESPSolver(a, opts).solve(a @ np.ones(a.ncols))
+
+
+def test_tiny_pivot_replacement_rescues_without_row_perm():
+    """Step (3) alone (replacement + refinement, no MC64) survives zero
+    pivots, albeit possibly with more refinement steps — the 'trades some
+    numerical stability' behaviour."""
+    from repro.matrices import matrix_by_name
+
+    a = matrix_by_name("kkt02").build()
+    opts = GESPOptions(row_perm="none", scale_diagonal=False,
+                       replace_tiny_pivots=True)
+    rep = GESPSolver(a, opts).solve(a @ np.ones(a.ncols))
+    assert rep.berr <= 1e-10
+
+
+def test_symbolic_cost_independent_of_values():
+    """§3.1: the structure (and hence all data structures) depends only on
+    the pattern — two matrices with identical pattern share the symbolic
+    factorization."""
+    from repro.matrices import matrix_by_name
+    from repro.symbolic import symbolic_lu_unsymmetric
+
+    a = matrix_by_name("cfd03").build()
+    a2 = a.copy()
+    a2.nzval[:] = np.random.default_rng(0).standard_normal(a2.nnz)
+    s1 = symbolic_lu_unsymmetric(a)
+    s2 = symbolic_lu_unsymmetric(a2)
+    assert np.array_equal(s1.l_rowind, s2.l_rowind)
+    assert np.array_equal(s1.u_colind, s2.u_colind)

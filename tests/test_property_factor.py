@@ -1,0 +1,134 @@
+"""Property-based tests for the factorization / solve stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.driver import GESPSolver
+from repro.factor import gepp_factor, gesp_factor
+from repro.scaling import mc64
+from repro.solve import componentwise_backward_error
+from repro.sparse import CSCMatrix
+from repro.symbolic import symbolic_lu_symmetrized, symbolic_lu_unsymmetric
+
+EPS = float(np.finfo(np.float64).eps)
+
+
+@st.composite
+def nonsingular_matrices(draw, max_n=12, zero_diag=False):
+    """Structurally nonsingular unsymmetric matrices with a hidden
+    transversal; values over several magnitudes."""
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.1, 0.6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    d *= np.exp(rng.uniform(-3, 3, (n, n)))
+    if zero_diag:
+        np.fill_diagonal(d, 0.0)
+        p = rng.permutation(n)
+        while n > 1 and np.any(p == np.arange(n)):
+            p = rng.permutation(n)
+    else:
+        p = rng.permutation(n)
+    for j in range(n):
+        if d[p[j], j] == 0.0:
+            d[p[j], j] = 1.0 + rng.random()
+    return d
+
+
+@given(nonsingular_matrices())
+@settings(max_examples=50, deadline=None)
+def test_gesp_driver_backward_stable(d):
+    a = CSCMatrix.from_dense(d)
+    n = a.ncols
+    b = d @ np.ones(n)
+    rep = GESPSolver(a).solve(b)
+    # the paper's headline claim: berr near machine epsilon after refinement
+    assert rep.berr <= 1e-12
+
+
+@given(nonsingular_matrices(zero_diag=True))
+@settings(max_examples=30, deadline=None)
+def test_gesp_handles_zero_diagonals(d):
+    a = CSCMatrix.from_dense(d)
+    b = d @ np.ones(d.shape[0])
+    rep = GESPSolver(a).solve(b)
+    assert rep.berr <= 1e-12
+
+
+@given(nonsingular_matrices())
+@settings(max_examples=40, deadline=None)
+def test_gepp_factorization_invariants(d):
+    a = CSCMatrix.from_dense(d)
+    f = gepp_factor(a)
+    n = d.shape[0]
+    # perm_r is a permutation
+    assert sorted(f.perm_r.tolist()) == list(range(n))
+    # |L| <= 1 under classic partial pivoting
+    assert np.abs(f.l.to_dense()).max() <= 1.0 + 1e-12
+    # P A = L U
+    pm = np.zeros((n, n))
+    pm[f.perm_r, np.arange(n)] = 1.0
+    scale = max(1.0, np.abs(d).max())
+    assert np.allclose(f.l.to_dense() @ f.u.to_dense(), pm @ d,
+                       atol=1e-7 * scale)
+
+
+@given(nonsingular_matrices(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_gesp_lu_product_with_perturbation_accounting(d):
+    """LU = A + Σ delta_j e_j e_jᵀ up to the standard elementwise LU
+    rounding bound  |LU − (A+E)| ≤ c·n·eps·(|L|·|U|)  — tiny replaced
+    pivots can make |L| huge, so the bound must scale with the factors,
+    not with A."""
+    a = CSCMatrix.from_dense(d)
+    f = gesp_factor(a)
+    n = d.shape[0]
+    e = np.zeros((n, n))
+    if f.n_tiny_pivots:
+        e[f.perturbed_columns, f.perturbed_columns] = f.pivot_deltas
+    l = f.l.to_dense()
+    u = f.u.to_dense()
+    bound = 10 * n * EPS * (np.abs(l) @ np.abs(u)) + 1e-13
+    resid = np.abs(l @ u - (d + e))
+    assert np.all(resid <= bound)
+
+
+@given(nonsingular_matrices(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_symbolic_pattern_contains_numeric(d):
+    """The static pattern must cover every numerically nonzero entry of
+    the factors (no pivoting), for both symbolic variants."""
+    a = CSCMatrix.from_dense(d)
+    try:
+        f = gesp_factor(a, replace_tiny_pivots=False)
+    except ZeroDivisionError:
+        return  # exact zero pivot: nothing to check
+    lnz = f.l.to_dense() != 0
+    unz = f.u.to_dense() != 0
+    for sym in (symbolic_lu_unsymmetric(a), symbolic_lu_symmetrized(a)):
+        assert not np.any(lnz & ~sym.l_pattern_dense())
+        assert not np.any(unz & ~sym.u_pattern_dense())
+
+
+@given(nonsingular_matrices(max_n=10, zero_diag=True))
+@settings(max_examples=40, deadline=None)
+def test_mc64_scaling_bounds(d):
+    a = CSCMatrix.from_dense(d)
+    res = mc64(a, job="product", scale=True)
+    b = res.apply(a).to_dense()
+    assert np.abs(b).max() <= 1.0 + 1e-8
+    assert np.abs(np.diag(b)).min() >= 1.0 - 1e-8
+
+
+@given(nonsingular_matrices(max_n=10), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_berr_nonnegative_and_zero_iff_exact(d, seed):
+    a = CSCMatrix.from_dense(d)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(d.shape[0])
+    b = d @ x
+    berr = componentwise_backward_error(a, x, b)
+    assert berr >= 0.0
+    assert berr <= 8 * EPS  # x is the exact solution up to rounding of b

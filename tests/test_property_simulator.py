@@ -1,0 +1,111 @@
+"""Property-based tests of the virtual-MPI simulator.
+
+Random well-formed SPMD programs (every send has a matching receive)
+must always terminate, deliver every message, conserve byte counts, and
+be fully deterministic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmem import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    MachineModel,
+    Recv,
+    Send,
+    simulate,
+)
+
+
+@st.composite
+def message_plans(draw, max_ranks=5, max_msgs=12):
+    """A random set of point-to-point messages (src, dst, tag, bytes)."""
+    nranks = draw(st.integers(2, max_ranks))
+    nmsgs = draw(st.integers(0, max_msgs))
+    msgs = []
+    for _ in range(nmsgs):
+        src = draw(st.integers(0, nranks - 1))
+        dst = draw(st.integers(0, nranks - 1).filter(lambda d: True))
+        if dst == src:
+            dst = (dst + 1) % nranks
+        tag = draw(st.integers(0, 3))
+        nbytes = draw(st.integers(0, 1000))
+        msgs.append((src, dst, tag, nbytes))
+    return nranks, msgs
+
+
+def build_programs(nranks, msgs, any_source):
+    """SPMD programs: each rank sends its outgoing messages (with some
+    random compute), then receives everything addressed to it."""
+    out = [[m for m in msgs if m[0] == r] for r in range(nranks)]
+    inc = [[m for m in msgs if m[1] == r] for r in range(nranks)]
+
+    def prog(r):
+        total = 0
+        yield Compute(flops=100.0 * (r + 1), width=8)
+        for (_, dst, tag, nbytes) in out[r]:
+            yield Send(dest=dst, tag=tag, payload=nbytes, nbytes=nbytes)
+        # receive in arbitrary (arrival) order via ANY, or in exact order
+        if any_source:
+            for _ in inc[r]:
+                m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+                total += m.nbytes
+        else:
+            for (src, _, tag, _) in inc[r]:
+                m = yield Recv(source=src, tag=tag)
+                total += m.nbytes
+        return total
+
+    return [prog(r) for r in range(nranks)]
+
+
+@given(message_plans(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_all_messages_delivered(plan, any_source):
+    nranks, msgs = plan
+    res = simulate(build_programs(nranks, msgs, any_source))
+    # byte conservation: every byte sent is received
+    sent = sum(m[3] for m in msgs)
+    assert sum(res.returns) == sent
+    assert res.total_bytes == sent
+    assert sum(s.bytes_received for s in res.stats) == sent
+    assert res.total_messages == len(msgs)
+
+
+@given(message_plans(), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_determinism(plan, any_source):
+    nranks, msgs = plan
+    r1 = simulate(build_programs(nranks, msgs, any_source))
+    r2 = simulate(build_programs(nranks, msgs, any_source))
+    assert r1.elapsed == r2.elapsed
+    assert [s.blocked_time for s in r1.stats] == \
+        [s.blocked_time for s in r2.stats]
+    assert r1.returns == r2.returns
+
+
+@given(message_plans())
+@settings(max_examples=40, deadline=None)
+def test_clock_monotone_and_consistent(plan):
+    nranks, msgs = plan
+    machine = MachineModel(alpha=1e-5, beta=1e-8, send_overhead=1e-7)
+    res = simulate(build_programs(nranks, msgs, True), machine=machine)
+    for s in res.stats:
+        assert s.time >= 0.0
+        # wall time >= the parts we account for
+        assert s.time >= s.compute_time - 1e-15
+        assert s.time + 1e-12 >= s.blocked_time
+        assert s.blocked_time >= 0.0
+    assert res.elapsed == max(s.time for s in res.stats)
+
+
+@given(message_plans())
+@settings(max_examples=30, deadline=None)
+def test_fast_network_still_functional(plan):
+    nranks, msgs = plan
+    res = simulate(build_programs(nranks, msgs, False),
+                   machine=MachineModel.fast_network())
+    assert sum(res.returns) == sum(m[3] for m in msgs)

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix, CSCMatrix
+from repro.sparse.ops import (
+    add,
+    norm1,
+    norm_inf,
+    permute_cols,
+    permute_rows,
+    spmv,
+    spmv_t,
+)
+
+
+@st.composite
+def coo_matrices(draw, max_n=12):
+    nrows = draw(st.integers(1, max_n))
+    ncols = draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, nrows * ncols))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz))
+    vals = draw(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=nnz, max_size=nnz))
+    return COOMatrix(nrows, ncols, rows, cols, vals)
+
+
+@st.composite
+def vectors(draw, n):
+    return np.array(draw(st.lists(
+        st.floats(min_value=-1e3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n)))
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_csc_dense_agree(coo):
+    assert np.allclose(coo.to_csc().to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csc_invariants(coo):
+    a = coo.to_csc()
+    assert a.colptr[0] == 0
+    assert a.colptr[-1] == a.nnz
+    assert np.all(np.diff(a.colptr) >= 0)
+    assert a.has_sorted_indices()
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(coo):
+    a = coo.to_csc()
+    assert np.allclose(a.transpose().transpose().to_dense(), a.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_norm_duality(coo):
+    a = coo.to_csc()
+    assert abs(norm1(a) - norm_inf(a.transpose())) < 1e-9 * max(1.0, norm1(a))
+
+
+@given(coo_matrices(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_spmv_matches_dense(coo, data):
+    a = coo.to_csc()
+    x = data.draw(vectors(a.ncols))
+    d = a.to_dense()
+    assert np.allclose(spmv(a, x), d @ x, atol=1e-6 * (1 + np.abs(d).max()))
+
+
+@given(coo_matrices(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_spmv_t_is_transpose_spmv(coo, data):
+    a = coo.to_csc()
+    y = data.draw(vectors(a.nrows))
+    assert np.allclose(spmv_t(a, y), spmv(a.transpose(), y),
+                       atol=1e-6 * (1 + np.abs(a.to_dense()).max()))
+
+
+@given(coo_matrices(max_n=8), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_row_permutation_invertible(coo, rnd):
+    a = coo.to_csc()
+    perm = list(range(a.nrows))
+    rnd.shuffle(perm)
+    perm = np.array(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(a.nrows)
+    back = permute_rows(permute_rows(a, perm), inv)
+    assert np.allclose(back.to_dense(), a.to_dense())
+
+
+@given(coo_matrices(max_n=8), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_col_permutation_invertible(coo, rnd):
+    a = coo.to_csc()
+    perm = list(range(a.ncols))
+    rnd.shuffle(perm)
+    perm = np.array(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(a.ncols)
+    back = permute_cols(permute_cols(a, perm), inv)
+    assert np.allclose(back.to_dense(), a.to_dense())
+
+
+@given(coo_matrices(max_n=6), coo_matrices(max_n=6))
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(c1, c2):
+    if c1.shape != c2.shape:
+        return
+    a, b = c1.to_csc(), c2.to_csc()
+    assert np.allclose(add(a, b).to_dense(), add(b, a).to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_norm_triangle_inequality(coo):
+    a = coo.to_csc()
+    two = add(a, a)
+    assert norm1(two) <= 2 * norm1(a) + 1e-9

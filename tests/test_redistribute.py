@@ -1,0 +1,102 @@
+"""Tests for distributed input + redistribution (§5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.dmem import best_grid
+from repro.dmem.redistribute import DistributedInput, redistribute
+from repro.pdgstrf import pdgstrf
+from repro.pdgstrs import pdgstrs
+from repro.sparse import CSCMatrix
+from repro.sparse.ops import norm1
+from repro.symbolic import (
+    block_partition,
+    build_block_dag,
+    symbolic_lu_symmetrized,
+)
+
+from conftest import random_nonsingular_dense
+
+
+def test_row_slab_round_trip(rng):
+    d = random_nonsingular_dense(rng, 30, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    din = DistributedInput.from_csc(a, nranks=4)
+    assert np.allclose(din.to_csc().to_dense(), d)
+    # every triplet is inside its owner's slab
+    for r in range(4):
+        rows, _, _ = din.triplets[r]
+        if rows.size:
+            assert rows.min() >= din.slab_starts[r]
+            assert rows.max() < din.slab_starts[r + 1]
+
+
+@pytest.mark.parametrize("p", [1, 4, 6])
+def test_redistribute_then_factor(rng, p):
+    d = random_nonsingular_dense(rng, 40, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=4)
+    din = DistributedInput.from_csc(a, nranks=p)
+    dist, sim = redistribute(din, sym, part, best_grid(p))
+    dag = build_block_dag(sym, part)
+    pdgstrf(dist, dag, anorm=norm1(a))
+    x = pdgstrs(dist, d @ np.ones(40)).x
+    assert np.abs(x - 1.0).max() < 1e-6
+
+
+def test_redistribute_matches_direct_distribution(rng):
+    from repro.dmem import distribute_matrix
+
+    d = random_nonsingular_dense(rng, 35, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=5)
+    grid = best_grid(4)
+    din = DistributedInput.from_csc(a, nranks=4)
+    via_redist, _ = redistribute(din, sym, part, grid)
+    direct = distribute_matrix(a, sym, part, grid)
+    for r in range(4):
+        for k, blk in direct.diag[r].items():
+            assert np.array_equal(via_redist.diag[r][k], blk)
+        for key, blk in direct.lblk[r].items():
+            assert np.array_equal(via_redist.lblk[r][key], blk)
+        for key, blk in direct.ublk[r].items():
+            assert np.array_equal(via_redist.ublk[r][key], blk)
+
+
+def test_redistribute_communication_measured(rng):
+    d = random_nonsingular_dense(rng, 40, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=4)
+    din = DistributedInput.from_csc(a, nranks=6)
+    _, sim = redistribute(din, sym, part, best_grid(6))
+    assert sim.total_messages > 0
+    assert sim.total_bytes > 0
+    assert sim.elapsed > 0
+
+
+def test_redistribute_single_rank_no_messages(rng):
+    d = random_nonsingular_dense(rng, 20, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=4)
+    din = DistributedInput.from_csc(a, nranks=1)
+    _, sim = redistribute(din, sym, part, best_grid(1))
+    assert sim.total_messages == 0
+
+
+def test_grid_size_mismatch(rng):
+    d = random_nonsingular_dense(rng, 10, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=4)
+    din = DistributedInput.from_csc(a, nranks=2)
+    with pytest.raises(ValueError):
+        redistribute(din, sym, part, best_grid(4))
+
+
+def test_from_csc_rejects_rectangular():
+    with pytest.raises(ValueError):
+        DistributedInput.from_csc(CSCMatrix.empty(2, 3), nranks=2)

@@ -1,0 +1,119 @@
+"""Unit tests for equilibration and MC64."""
+
+import numpy as np
+import pytest
+
+from repro.scaling import StructurallySingularError, equilibrate, mc64
+from repro.sparse import CSCMatrix
+
+from conftest import random_nonsingular_dense
+
+
+def test_equilibrate_unit_row_col_max(rng):
+    d = random_nonsingular_dense(rng, 10) * np.exp(rng.uniform(-8, 8, (10, 10)))
+    a = CSCMatrix.from_dense(d)
+    eq = equilibrate(a)
+    b = eq.apply(a).to_dense()
+    rowmax = np.abs(b).max(axis=1)
+    assert np.allclose(rowmax[rowmax > 0], 1.0)
+    assert np.abs(b).max() <= 1.0 + 1e-12
+
+
+def test_equilibrate_colcnd_rowcnd_bounds(rng):
+    d = random_nonsingular_dense(rng, 6)
+    eq = equilibrate(CSCMatrix.from_dense(d))
+    assert 0.0 < eq.rowcnd <= 1.0
+    assert 0.0 < eq.colcnd <= 1.0
+    assert eq.amax == pytest.approx(np.abs(d).max())
+
+
+def test_equilibrate_already_scaled():
+    d = np.array([[1.0, -1.0], [0.5, 1.0]])
+    eq = equilibrate(CSCMatrix.from_dense(d))
+    assert eq.rowcnd == pytest.approx(1.0)
+
+
+def test_equilibrate_empty_rows_kept():
+    d = np.array([[1.0, 2.0], [0.0, 0.0]])
+    eq = equilibrate(CSCMatrix.from_dense(d))
+    assert eq.dr[1] == 1.0  # zero row: neutral scale
+
+
+def test_equilibrate_zero_matrix():
+    eq = equilibrate(CSCMatrix.empty(3, 3))
+    assert np.allclose(eq.dr, 1.0)
+    assert np.allclose(eq.dc, 1.0)
+
+
+def test_mc64_product_scaling_properties(rng):
+    for _ in range(20):
+        n = int(rng.integers(2, 20))
+        d = random_nonsingular_dense(rng, n, zero_diag=bool(rng.integers(2)))
+        a = CSCMatrix.from_dense(d)
+        res = mc64(a, job="product", scale=True)
+        b = res.apply(a).to_dense()
+        assert np.allclose(np.abs(np.diag(b)), 1.0, atol=1e-9)
+        assert np.abs(b).max() <= 1.0 + 1e-9
+
+
+def test_mc64_perm_places_matching_on_diagonal(rng):
+    d = random_nonsingular_dense(rng, 8, zero_diag=True)
+    a = CSCMatrix.from_dense(d)
+    res = mc64(a, job="product", scale=False)
+    from repro.sparse.ops import permute_rows
+
+    pd = permute_rows(a, res.perm_r).to_dense()
+    assert np.all(np.abs(np.diag(pd)) > 0)
+
+
+def test_mc64_cardinality(rng):
+    d = random_nonsingular_dense(rng, 7, zero_diag=True)
+    res = mc64(CSCMatrix.from_dense(d), job="cardinality")
+    assert res.objective == 7.0
+    assert np.allclose(res.dr, 1.0)
+
+
+def test_mc64_bottleneck_at_least_cardinality(rng):
+    d = random_nonsingular_dense(rng, 6)
+    res = mc64(CSCMatrix.from_dense(d), job="bottleneck")
+    assert res.objective > 0.0
+
+
+def test_mc64_rejects_structurally_singular():
+    d = np.zeros((3, 3))
+    d[:, 0] = 1.0  # columns 1, 2 empty
+    with pytest.raises(StructurallySingularError):
+        mc64(CSCMatrix.from_dense(d), job="product")
+
+
+def test_mc64_explicit_zeros_excluded():
+    # the only "diagonal" candidate in col 1 is an explicit zero: must not
+    # be matched
+    a = CSCMatrix(2, 2, [0, 2, 4], [0, 1, 0, 1],
+                  np.array([2.0, 1.0, 1.0, 0.0]), check=False)
+    res = mc64(a, job="product")
+    assert res.rowof[1] == 0  # column 1 must take row 0 (value 1.0)
+
+
+def test_mc64_rejects_rectangular():
+    with pytest.raises(ValueError):
+        mc64(CSCMatrix.empty(2, 3))
+
+
+def test_mc64_unknown_job():
+    with pytest.raises(ValueError):
+        mc64(CSCMatrix.identity(2), job="nope")
+
+
+def test_mc64_objective_is_log_product(rng):
+    d = random_nonsingular_dense(rng, 5)
+    a = CSCMatrix.from_dense(d)
+    res = mc64(a, job="product")
+    # objective = sum log(|a_ij| / colmax_j) over the matching <= 0
+    assert res.objective <= 1e-12
+
+
+def test_mc64_identity_is_optimal_for_dominant_diagonal():
+    d = np.array([[10.0, 1.0], [1.0, 10.0]])
+    res = mc64(CSCMatrix.from_dense(d), job="product")
+    assert np.array_equal(res.perm_r, [0, 1])

@@ -1,0 +1,215 @@
+"""Unit tests for the virtual-MPI discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dmem import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    DeadlockError,
+    MachineModel,
+    Recv,
+    Send,
+    simulate,
+)
+
+
+def test_ping_pong_payloads():
+    def rank0(n):
+        for i in range(n):
+            yield Send(dest=1, tag=i, payload=("ping", i), nbytes=16)
+            m = yield Recv(source=1, tag=i)
+            assert m.payload == ("pong", i)
+        return "ok"
+
+    def rank1(n):
+        for i in range(n):
+            m = yield Recv(source=0, tag=i)
+            assert m.payload == ("ping", i)
+            yield Send(dest=0, tag=i, payload=("pong", i), nbytes=16)
+        return "ok"
+
+    res = simulate([rank0(4), rank1(4)])
+    assert res.returns == ["ok", "ok"]
+    assert res.stats[0].msgs_sent == 4
+    assert res.stats[0].bytes_sent == 64
+
+
+def test_compute_advances_clock():
+    def prog():
+        yield Compute(flops=1e6, width=32)
+        return None
+
+    machine = MachineModel(peak_flop_rate=1e6, half_width=0.0)
+    res = simulate([prog()], machine=machine)
+    assert res.elapsed == pytest.approx(1.0)
+    assert res.stats[0].flops == 1e6
+
+
+def test_compute_seconds():
+    def prog():
+        yield Compute(seconds=0.5)
+
+    res = simulate([prog()])
+    assert res.elapsed == pytest.approx(0.5)
+
+
+def test_width_dependent_rate():
+    m = MachineModel(peak_flop_rate=100.0, half_width=8.0)
+    assert m.rate(8) == pytest.approx(50.0)
+    assert m.rate(1) == pytest.approx(100.0 / 9.0)
+    assert m.compute_time(100, width=8) == pytest.approx(2.0)
+
+
+def test_transfer_time_alpha_beta():
+    m = MachineModel(alpha=1e-3, beta=1e-6)
+    assert m.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+    assert m.transfer_time(1000, count=2) == pytest.approx(2e-3 + 1e-3)
+
+
+def test_recv_blocks_until_arrival():
+    # rank 1 computes for 1s then sends; rank 0's recv completes no earlier
+    def r0():
+        m = yield Recv(source=1, tag=0)
+        return m.arrival
+
+    def r1():
+        yield Compute(seconds=1.0)
+        yield Send(dest=0, tag=0, payload=None, nbytes=0)
+
+    machine = MachineModel(alpha=0.25, beta=0.0, send_overhead=0.0)
+    res = simulate([r0(), r1()], machine=machine)
+    assert res.stats[0].time == pytest.approx(1.25)
+    assert res.stats[0].blocked_time == pytest.approx(1.25)
+
+
+def test_any_source_earliest_arrival_first():
+    # two senders with different compute delays: the earlier message must
+    # be delivered first regardless of rank order
+    def master():
+        order = []
+        for _ in range(2):
+            m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+            order.append(m.source)
+        return order
+
+    def worker(delay):
+        yield Compute(seconds=delay)
+        yield Send(dest=0, tag=7, payload=None, nbytes=0)
+
+    res = simulate([master(), worker(2.0), worker(0.5)])
+    assert res.returns[0] == [2, 1]
+
+
+def test_fifo_per_source_and_tag():
+    def sender():
+        for i in range(5):
+            yield Send(dest=1, tag=3, payload=i, nbytes=8)
+
+    def receiver():
+        got = []
+        for _ in range(5):
+            m = yield Recv(source=0, tag=3)
+            got.append(m.payload)
+        return got
+
+    res = simulate([sender(), receiver()])
+    assert res.returns[1] == [0, 1, 2, 3, 4]
+
+
+def test_deadlock_detection():
+    def p():
+        yield Recv(source=ANY_SOURCE)
+
+    with pytest.raises(DeadlockError):
+        simulate([p(), p()])
+
+
+def test_deadlock_message_mentions_ranks():
+    def p():
+        yield Recv(source=0, tag=42)
+
+    def q():
+        yield Compute(seconds=1.0)
+        yield Recv(source=1, tag=13)
+
+    with pytest.raises(DeadlockError) as e:
+        simulate([q(), p()])
+    assert "42" in str(e.value) or "13" in str(e.value)
+
+
+def test_invalid_destination():
+    def p():
+        yield Send(dest=5, tag=0, payload=None, nbytes=0)
+
+    with pytest.raises(ValueError):
+        simulate([p()])
+
+
+def test_unknown_op_rejected():
+    def p():
+        yield "not an op"
+
+    with pytest.raises(TypeError):
+        simulate([p()])
+
+
+def test_stats_comm_fraction():
+    def p():
+        yield Compute(seconds=1.0)
+        m = yield Recv(source=1, tag=0)
+
+    def q():
+        yield Compute(seconds=3.0)
+        yield Send(dest=0, tag=0, payload=None, nbytes=0)
+
+    res = simulate([p(), q()], machine=MachineModel(alpha=0.0, beta=0.0,
+                                                    send_overhead=0.0))
+    # rank 0: 1s compute, 2s blocked -> comm fraction 2/3
+    assert res.stats[0].comm_fraction == pytest.approx(2.0 / 3.0)
+    assert res.stats[1].comm_fraction == pytest.approx(0.0)
+
+
+def test_load_balance_factor():
+    def p(f):
+        yield Compute(flops=f, width=32)
+
+    res = simulate([p(100.0), p(300.0)])
+    assert res.load_balance_factor() == pytest.approx(200.0 / 300.0)
+
+
+def test_mflops_aggregate():
+    def p():
+        yield Compute(flops=5e5, width=1e9)
+
+    m = MachineModel(peak_flop_rate=1e6, half_width=0.0)
+    res = simulate([p(), p()], machine=m)
+    assert res.mflops() == pytest.approx(2.0, rel=0.01)
+
+
+def test_determinism():
+    def master():
+        out = []
+        for _ in range(4):
+            m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+            out.append((m.source, m.tag))
+        return out
+
+    def worker(r, t):
+        yield Send(dest=0, tag=t, payload=None, nbytes=8)
+
+    def run():
+        return simulate([master()] + [worker(i, i * 3 % 5)
+                                      for i in range(1, 5)]).returns[0]
+
+    assert run() == run()
+
+
+def test_max_events_guard():
+    def p():
+        while True:
+            yield Compute(flops=1.0)
+
+    with pytest.raises(RuntimeError):
+        simulate([p()], max_events=100)

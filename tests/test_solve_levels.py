@@ -1,0 +1,73 @@
+"""Level scheduling of the triangular solves (paper §5 discussion)."""
+
+import numpy as np
+
+from repro.sparse import CSCMatrix
+from repro.symbolic import (
+    block_partition,
+    build_block_dag,
+    find_supernodes,
+    split_supernodes,
+    symbolic_lu_symmetrized,
+)
+
+from conftest import laplace2d_dense
+
+
+def dag_of(dense, max_size=1):
+    a = CSCMatrix.from_dense(dense)
+    sym = symbolic_lu_symmetrized(a)
+    part = split_supernodes(find_supernodes(sym), max_size=max_size)
+    return build_block_dag(sym, part)
+
+
+def test_diagonal_matrix_one_step():
+    dag = dag_of(np.eye(6))
+    ls, us = dag.solve_parallel_steps()
+    assert ls == 1 and us == 1
+
+
+def test_tridiagonal_fully_sequential():
+    n = 8
+    d = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+    dag = dag_of(d)
+    ls, us = dag.solve_parallel_steps()
+    assert ls == n and us == n  # a chain: no parallelism at all
+
+
+def test_levels_are_valid_schedule():
+    d = laplace2d_dense(6)
+    dag = dag_of(d, max_size=2)
+    low = dag.lower_solve_levels()
+    # dependency K' -> K (L(K,K') nonzero) must respect levels
+    for k in range(dag.nsuper):
+        for t in dag.l_send_targets(k):
+            assert low[t] > low[k]
+    up = dag.upper_solve_levels()
+    for k in range(dag.nsuper):
+        for t in dag.u_send_targets(k):
+            assert up[k] > up[t]
+
+
+def test_grid_has_real_parallelism():
+    d = laplace2d_dense(8)
+    from repro.ordering import minimum_degree
+    from repro.sparse.ops import permute_symmetric
+
+    a = CSCMatrix.from_dense(d)
+    a = permute_symmetric(a, minimum_degree(a))
+    sym = symbolic_lu_symmetrized(a)
+    part = split_supernodes(find_supernodes(sym), max_size=2)
+    dag = build_block_dag(sym, part)
+    ls, us = dag.solve_parallel_steps()
+    # far fewer steps than supernodes: level scheduling exposes parallelism
+    assert ls < dag.nsuper
+    assert us < dag.nsuper
+
+
+def test_levels_bounded_by_critical_path():
+    d = laplace2d_dense(6)
+    dag = dag_of(d, max_size=3)
+    ls, us = dag.solve_parallel_steps()
+    assert ls <= dag.critical_path_length()
+    assert us <= dag.critical_path_length()

@@ -1,0 +1,86 @@
+"""Unit tests for COO triplet storage."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSCMatrix
+
+
+def test_basic_construction():
+    a = COOMatrix(3, 4, [0, 2, 1], [1, 3, 0], [1.0, 2.0, -3.0])
+    assert a.shape == (3, 4)
+    assert a.nnz == 3
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [0, 1], [0], [1.0, 2.0])
+
+
+def test_rejects_out_of_range_row():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [0, 2], [0, 1], [1.0, 2.0])
+
+
+def test_rejects_out_of_range_col():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, [0, 1], [0, -1], [1.0, 2.0])
+
+
+def test_rejects_negative_dims():
+    with pytest.raises(ValueError):
+        COOMatrix(-1, 2, [], [], [])
+
+
+def test_from_dense_round_trip(rng):
+    d = rng.standard_normal((5, 7)) * (rng.random((5, 7)) < 0.5)
+    a = COOMatrix.from_dense(d)
+    assert np.allclose(a.to_dense(), d)
+
+
+def test_from_dense_drop_tol():
+    d = np.array([[0.5, 0.05], [0.0, 2.0]])
+    a = COOMatrix.from_dense(d, drop_tol=0.1)
+    assert a.nnz == 2
+    assert np.allclose(a.to_dense(), [[0.5, 0.0], [0.0, 2.0]])
+
+
+def test_duplicates_sum_in_to_dense():
+    a = COOMatrix(2, 2, [0, 0, 1], [0, 0, 1], [1.0, 2.5, 4.0])
+    d = a.to_dense()
+    assert d[0, 0] == 3.5
+    assert d[1, 1] == 4.0
+
+
+def test_duplicates_sum_in_csc_conversion():
+    a = COOMatrix(2, 2, [0, 0], [1, 1], [1.0, -1.0])
+    c = a.to_csc()
+    assert c.get(0, 1) == 0.0  # summed to zero, kept as explicit entry
+    assert c.nnz == 1
+    c2 = a.to_csc(drop_zeros=True)
+    assert c2.nnz == 0
+
+
+def test_transpose():
+    a = COOMatrix(2, 3, [0, 1], [2, 0], [5.0, 6.0])
+    at = a.transpose()
+    assert at.shape == (3, 2)
+    assert np.allclose(at.to_dense(), a.to_dense().T)
+
+
+def test_to_csr_matches_dense(rng):
+    d = rng.standard_normal((6, 4)) * (rng.random((6, 4)) < 0.4)
+    a = COOMatrix.from_dense(d)
+    assert np.allclose(a.to_csr().to_dense(), d)
+
+
+def test_empty_matrix():
+    a = COOMatrix(3, 3, [], [], [])
+    assert a.nnz == 0
+    assert np.allclose(a.to_dense(), np.zeros((3, 3)))
+    assert a.to_csc().nnz == 0
+
+
+def test_rejects_non_2d_dense():
+    with pytest.raises(ValueError):
+        COOMatrix.from_dense(np.ones(4))

@@ -1,0 +1,140 @@
+"""Unit tests for CSC storage."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSCMatrix
+
+
+def test_validation_colptr_length():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, [0, 1], [0], [1.0])
+
+
+def test_validation_colptr_monotone():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, [0, 2, 1], [0, 1], [1.0, 2.0])
+
+
+def test_validation_colptr_end():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, [0, 1, 3], [0, 1], [1.0, 2.0])
+
+
+def test_validation_row_range():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, [0, 1, 2], [0, 5], [1.0, 2.0])
+
+
+def test_validation_unsorted_rows():
+    with pytest.raises(ValueError):
+        CSCMatrix(3, 1, [0, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+
+
+def test_validation_duplicate_rows_rejected():
+    with pytest.raises(ValueError):
+        CSCMatrix(3, 1, [0, 2], [1, 1], [1.0, 2.0])
+
+
+def test_from_dense_and_back(rng):
+    d = rng.standard_normal((8, 5)) * (rng.random((8, 5)) < 0.4)
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(a.to_dense(), d)
+    assert a.has_sorted_indices()
+
+
+def test_identity():
+    i3 = CSCMatrix.identity(3, scale=2.0)
+    assert np.allclose(i3.to_dense(), 2.0 * np.eye(3))
+
+
+def test_empty():
+    e = CSCMatrix.empty(4, 2)
+    assert e.nnz == 0
+    assert e.shape == (4, 2)
+
+
+def test_get_element(rng):
+    d = rng.standard_normal((6, 6)) * (rng.random((6, 6)) < 0.5)
+    a = CSCMatrix.from_dense(d)
+    for i in range(6):
+        for j in range(6):
+            assert a.get(i, j) == pytest.approx(d[i, j])
+
+
+def test_get_default():
+    a = CSCMatrix.empty(3, 3)
+    assert a.get(1, 1, default=-7.0) == -7.0
+
+
+def test_diagonal(rng):
+    d = rng.standard_normal((5, 5))
+    d[2, 2] = 0.0
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(a.diagonal(), np.diag(d))
+
+
+def test_diagonal_rectangular():
+    d = np.arange(12.0).reshape(3, 4) + 1
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(a.diagonal(), [d[0, 0], d[1, 1], d[2, 2]])
+
+
+def test_transpose(rng):
+    d = rng.standard_normal((7, 4)) * (rng.random((7, 4)) < 0.5)
+    a = CSCMatrix.from_dense(d)
+    t = a.transpose()
+    assert t.shape == (4, 7)
+    assert np.allclose(t.to_dense(), d.T)
+    assert t.has_sorted_indices()
+
+
+def test_transpose_involution(rng):
+    d = rng.standard_normal((5, 6)) * (rng.random((5, 6)) < 0.4)
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(a.transpose().transpose().to_dense(), d)
+
+
+def test_to_csr_round_trip(rng):
+    d = rng.standard_normal((6, 9)) * (rng.random((6, 9)) < 0.3)
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(a.to_csr().to_csc().to_dense(), d)
+
+
+def test_to_coo_round_trip(rng):
+    d = rng.standard_normal((4, 4)) * (rng.random((4, 4)) < 0.6)
+    a = CSCMatrix.from_dense(d)
+    assert np.allclose(CSCMatrix.from_coo(a.to_coo()).to_dense(), d)
+
+
+def test_col_view_is_view():
+    a = CSCMatrix.from_dense(np.array([[1.0, 0.0], [2.0, 3.0]]))
+    rows, vals = a.col(0)
+    vals[0] = 99.0
+    assert a.get(0, 0) == 99.0
+
+
+def test_col_nnz():
+    a = CSCMatrix.from_dense(np.array([[1.0, 0.0], [2.0, 3.0]]))
+    assert a.col_nnz().tolist() == [2, 1]
+
+
+def test_prune_zeros():
+    a = CSCMatrix(2, 2, [0, 2, 3], [0, 1, 1], [1.0, 0.0, 2.0], check=False)
+    p = a.prune_zeros()
+    assert p.nnz == 2
+    assert np.allclose(p.to_dense(), a.to_dense())
+
+
+def test_matmul_vector(rng):
+    d = rng.standard_normal((5, 5)) * (rng.random((5, 5)) < 0.7)
+    a = CSCMatrix.from_dense(d)
+    x = rng.standard_normal(5)
+    assert np.allclose(a @ x, d @ x)
+
+
+def test_copy_independent():
+    a = CSCMatrix.from_dense(np.eye(3))
+    b = a.copy()
+    b.nzval[0] = 5.0
+    assert a.nzval[0] == 1.0

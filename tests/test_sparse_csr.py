@@ -1,0 +1,80 @@
+"""Unit tests for CSR storage."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def test_from_dense_round_trip(rng):
+    d = rng.standard_normal((6, 8)) * (rng.random((6, 8)) < 0.4)
+    a = CSRMatrix.from_dense(d)
+    assert np.allclose(a.to_dense(), d)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, [0, 1], [0], [1.0])
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 3, [0, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 2, [0, 1], [5], [1.0])
+
+
+def test_row_access(rng):
+    d = rng.standard_normal((4, 6)) * (rng.random((4, 6)) < 0.5)
+    a = CSRMatrix.from_dense(d)
+    for i in range(4):
+        cols, vals = a.row(i)
+        dense_row = np.zeros(6)
+        dense_row[cols] = vals
+        assert np.allclose(dense_row, d[i])
+
+
+def test_get(rng):
+    d = rng.standard_normal((5, 5)) * (rng.random((5, 5)) < 0.5)
+    a = CSRMatrix.from_dense(d)
+    for i in range(5):
+        for j in range(5):
+            assert a.get(i, j) == pytest.approx(d[i, j])
+
+
+def test_transpose(rng):
+    d = rng.standard_normal((3, 7)) * (rng.random((3, 7)) < 0.5)
+    a = CSRMatrix.from_dense(d)
+    t = a.transpose()
+    assert t.shape == (7, 3)
+    assert np.allclose(t.to_dense(), d.T)
+
+
+def test_to_csc(rng):
+    d = rng.standard_normal((6, 4)) * (rng.random((6, 4)) < 0.5)
+    a = CSRMatrix.from_dense(d)
+    c = a.to_csc()
+    assert np.allclose(c.to_dense(), d)
+    assert c.has_sorted_indices()
+
+
+def test_matmul(rng):
+    d = rng.standard_normal((5, 6)) * (rng.random((5, 6)) < 0.6)
+    a = CSRMatrix.from_dense(d)
+    x = rng.standard_normal(6)
+    assert np.allclose(a @ x, d @ x)
+
+
+def test_from_coo_sums_duplicates():
+    coo = COOMatrix(2, 2, [0, 0], [1, 1], [2.0, 3.0])
+    a = CSRMatrix.from_coo(coo)
+    assert a.get(0, 1) == 5.0
+
+
+def test_row_nnz():
+    a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+    assert a.row_nnz().tolist() == [2, 1]
+
+
+def test_copy():
+    a = CSRMatrix.from_dense(np.eye(2))
+    b = a.copy()
+    b.nzval[0] = 9.0
+    assert a.nzval[0] == 1.0

@@ -1,0 +1,141 @@
+"""Unit tests for Matrix Market and Harwell-Boeing I/O."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSCMatrix,
+    read_harwell_boeing,
+    read_matrix_market,
+    write_harwell_boeing,
+    write_matrix_market,
+)
+
+from conftest import random_sparse_dense
+
+
+def test_mm_round_trip(rng, tmp_path):
+    d = random_sparse_dense(rng, 7, 5, density=0.4)
+    a = CSCMatrix.from_dense(d)
+    path = tmp_path / "a.mtx"
+    write_matrix_market(a, path, comment="round trip")
+    b = read_matrix_market(str(path))
+    assert b.shape == a.shape
+    assert np.allclose(b.to_dense(), d)
+
+
+def test_mm_pattern_field():
+    lines = [
+        "%%MatrixMarket matrix coordinate pattern general",
+        "2 2 3",
+        "1 1", "2 1", "2 2",
+    ]
+    a = read_matrix_market(lines)
+    assert np.allclose(a.to_dense(), [[1.0, 0.0], [1.0, 1.0]])
+
+
+def test_mm_symmetric_expansion():
+    lines = [
+        "%%MatrixMarket matrix coordinate real symmetric",
+        "3 3 4",
+        "1 1 2.0", "2 1 -1.0", "3 2 5.0", "3 3 1.0",
+    ]
+    a = read_matrix_market(lines)
+    d = a.to_dense()
+    assert d[0, 1] == -1.0 and d[1, 0] == -1.0
+    assert d[1, 2] == 5.0 and d[2, 1] == 5.0
+
+
+def test_mm_skew_symmetric():
+    lines = [
+        "%%MatrixMarket matrix coordinate real skew-symmetric",
+        "2 2 1",
+        "2 1 3.0",
+    ]
+    a = read_matrix_market(lines)
+    d = a.to_dense()
+    assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+
+def test_mm_comments_skipped():
+    lines = [
+        "%%MatrixMarket matrix coordinate real general",
+        "% a comment",
+        "% another",
+        "1 1 1",
+        "1 1 4.5",
+    ]
+    a = read_matrix_market(lines)
+    assert a.to_dense()[0, 0] == 4.5
+
+
+def test_mm_rejects_bad_header():
+    with pytest.raises(ValueError):
+        read_matrix_market(["not a header", "1 1 0"])
+    with pytest.raises(ValueError):
+        read_matrix_market(["%%MatrixMarket matrix array real general", "1 1"])
+    with pytest.raises(ValueError):
+        read_matrix_market(
+            ["%%MatrixMarket matrix coordinate complex general", "1 1 0"])
+
+
+def test_hb_round_trip(rng, tmp_path):
+    d = random_sparse_dense(rng, 9, 9, density=0.3)
+    a = CSCMatrix.from_dense(d)
+    path = tmp_path / "a.rua"
+    write_harwell_boeing(a, path, title="test matrix", key="TEST")
+    b = read_harwell_boeing(str(path))
+    assert b.shape == a.shape
+    assert np.allclose(b.to_dense(), d)
+
+
+def test_hb_preserves_exact_values(tmp_path):
+    vals = np.array([[1.0 / 3.0, 0.0], [1e-300, 1e17]])
+    a = CSCMatrix.from_dense(vals)
+    path = tmp_path / "exact.rua"
+    write_harwell_boeing(a, path)
+    b = read_harwell_boeing(str(path))
+    # E20.12 carries ~13 significant digits
+    assert np.allclose(b.to_dense(), vals, rtol=1e-11)
+
+
+def test_hb_symmetric_expansion(tmp_path):
+    # hand-build a small RSA file (lower triangle stored)
+    lines = [
+        f"{'sym test':<72}{'SYM':<8}",
+        f"{3:14d}{1:14d}{1:14d}{1:14d}{0:14d}",
+        f"{'RSA':<14}{3:14d}{3:14d}{4:14d}{0:14d}",
+        f"{'(8I8)':<16}{'(8I8)':<16}{'(4E20.12)':<20}{'':<20}",
+        "       1       3       4       5",
+        "       1       2       3       3",
+        "  2.0 -1.0  3.0  4.0",
+    ]
+    a = read_harwell_boeing(lines)
+    d = a.to_dense()
+    assert d[0, 1] == -1.0 and d[1, 0] == -1.0
+    assert d[2, 2] == 4.0
+
+
+def test_hb_rejects_elemental():
+    lines = [
+        "t" + " " * 79,
+        f"{1:14d}{1:14d}{0:14d}{0:14d}{0:14d}",
+        f"{'RUE':<14}{1:14d}{1:14d}{1:14d}{0:14d}",
+        "(8I8)",
+        "       1       2",
+    ]
+    with pytest.raises(ValueError):
+        read_harwell_boeing(lines)
+
+
+def test_hb_pattern_matrix(tmp_path):
+    lines = [
+        f"{'pattern':<72}{'PAT':<8}",
+        f"{2:14d}{1:14d}{1:14d}{0:14d}{0:14d}",
+        f"{'PUA':<14}{2:14d}{2:14d}{2:14d}{0:14d}",
+        f"{'(8I8)':<16}{'(8I8)':<16}{'':<20}{'':<20}",
+        "       1       2       3",
+        "       1       2",
+    ]
+    a = read_harwell_boeing(lines)
+    assert np.allclose(a.to_dense(), np.eye(2))

@@ -9,6 +9,11 @@ the testbed (each step's time divided by the factorization time):
   fraction of factorization for large problems ("solve often < 5%");
 - the forward error bound is "by far the most expensive step after
   factorization" (multiple triangular solves).
+
+Stage times come from the :class:`repro.obs.RunRecord` traces collected
+by the ``testbed_results`` fixture — the Figure-6 breakdown is exactly
+"read the stage spans of one traced run", as docs/OBSERVABILITY.md's
+worked example shows.
 """
 
 import time
@@ -23,17 +28,21 @@ from repro.matrices import matrix_by_name
 
 def bench_fig6_breakdown(benchmark, testbed_results):
     rows = sorted(testbed_results.items(),
-                  key=lambda kv: kv[1]["timings"]["factor"])
+                  key=lambda kv: kv[1]["record"].span_seconds("factor"))
     t = Table("Figure 6 — time of each step / factorization time",
               ["matrix", "factor(s)", "rowperm/f", "colperm/f",
                "solve/f", "spmv/f"])
     ratios = []
     for name, r in rows:
-        f = max(r["timings"]["factor"], 1e-9)
+        rec = r["record"]
+        f = max(rec.span_seconds("factor"), 1e-9)
+        # the trace's stage spans are the same seconds the legacy
+        # timings dict reports (it is a view over them)
+        assert rec.span_seconds("factor") == r["timings"]["factor"]
         ratios.append({
             "name": name, "f": f,
-            "rowperm": r["timings"]["rowperm"] / f,
-            "colperm": r["timings"]["colperm"] / f,
+            "rowperm": rec.span_seconds("rowperm") / f,
+            "colperm": rec.span_seconds("colperm") / f,
             "solve": r["t_solve"] / f,
             "spmv": r["t_spmv"] / f,
         })
@@ -50,6 +59,10 @@ def bench_fig6_breakdown(benchmark, testbed_results):
         assert r["spmv"] <= r["solve"] * 1.5 + 0.05  # residual cheaper
     med_solve = float(np.median([r["solve"] for r in big]))
     assert med_solve < 0.5, med_solve
+
+    # the flop counters in the traces agree with the kernels' own counts
+    for name, r in rows:
+        assert r["record"].total("factor.flops") == r["flops"]
 
     # the error bound really is the most expensive post-factor step
     a = matrix_by_name(rows[-1][0]).build()

@@ -6,23 +6,36 @@ the left (step (1) in Figure 8), and are idle 23% of the time waiting to
 receive the row block of U ... Clearly, the critical path of the
 algorithm is in step (1)."
 
-Reproduced with the simulator's per-message-kind blocked-time breakdown:
-for the TWOTONE analog at P=64, idle time waiting on L-panel (and the
+Reproduced from the observability layer: the ``dmem/simulate`` trace
+span carries each rank's blocked time keyed by the awaited message kind
+(``per_rank[...]["blocked_by_kind"]``, see docs/OBSERVABILITY.md) — the
+same per-cause idle accounting the paper got from the Apprentice tool.
+For the TWOTONE analog at P=64, idle time waiting on L-panel (and the
 diagonal block feeding step (1)) dominates idle time waiting on U-panel
-messages — the same critical-path diagnosis, produced by the same kind of
-measurement.
+messages — the same critical-path diagnosis, produced by the same kind
+of measurement.
 """
-
-import numpy as np
 
 from conftest import MACHINE, save_table
 from repro.analysis import Table
 from repro.driver.dist_driver import DistributedGESPSolver
 from repro.matrices import matrix_by_name
+from repro.obs import Tracer, use_tracer
 from repro.pdgstrf.factor2d import _DIAG_L, _DIAG_U, _L_PANEL, _U_PANEL
 
-_KIND_NAMES = {_DIAG_L: "diag (L path)", _DIAG_U: "diag (U path)",
-               _L_PANEL: "L panel", _U_PANEL: "U panel"}
+# blocked_by_kind keys are JSON-friendly strings in the trace
+_KIND_NAMES = {str(_DIAG_L): "diag (L path)", str(_DIAG_U): "diag (U path)",
+               str(_L_PANEL): "L panel", str(_U_PANEL): "U panel"}
+
+
+def _factor_trace(name, nprocs):
+    """Factor ``name`` under a tracer; return the dmem/simulate span."""
+    a = matrix_by_name(name).build()
+    tracer = Tracer(name=name)
+    with use_tracer(tracer):
+        DistributedGESPSolver(a, nprocs=nprocs, machine=MACHINE,
+                              relax_size=16).factorize()
+    return tracer.root.find("factor").find("dmem/simulate")
 
 
 def bench_wait_analysis(benchmark):
@@ -32,18 +45,19 @@ def bench_wait_analysis(benchmark):
                "blocked (ms)"])
     shares = {}
     for name in ("TWOTONEa", "AF23560a", "RDIST1a"):
-        a = matrix_by_name(name).build()
-        s = DistributedGESPSolver(a, nprocs=64, machine=MACHINE,
-                                  relax_size=16)
-        run = s.factorize()
+        span = _factor_trace(name, nprocs=64)
         agg = {}
-        total = 0.0
-        for st in run.sim.stats:
-            for kind, sec in st.blocked_by_kind.items():
+        for rank in span.attrs["per_rank"]:
+            for kind, sec in rank["blocked_by_kind"].items():
                 agg[kind] = agg.get(kind, 0.0) + sec
-                total += sec
-        l_share = (agg.get(_L_PANEL, 0.0) + agg.get(_DIAG_L, 0.0)) / total
-        u_share = (agg.get(_U_PANEL, 0.0) + agg.get(_DIAG_U, 0.0)) / total
+        total = sum(agg.values())
+        # the per-kind breakdown partitions the dmem.wait_time counter
+        assert abs(total - span.counters["dmem.wait_time"]) < 1e-12 * \
+            max(1.0, total), name
+        l_share = (agg.get(str(_L_PANEL), 0.0) +
+                   agg.get(str(_DIAG_L), 0.0)) / total
+        u_share = (agg.get(str(_U_PANEL), 0.0) +
+                   agg.get(str(_DIAG_U), 0.0)) / total
         shares[name] = (l_share, u_share)
         t.add(name, 100 * l_share, 100 * u_share, total * 1e3)
     save_table("wait_analysis", t)

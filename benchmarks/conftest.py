@@ -22,6 +22,7 @@ from repro.driver.dist_driver import DistributedGESPSolver
 from repro.factor import gepp_factor
 from repro.matrices import large_8, matrix_stats
 from repro.matrices import testbed_53 as full_testbed
+from repro.obs import Tracer, use_tracer
 from repro.pdgstrf import pdgstrf
 from repro.pdgstrs import pdgstrs
 from repro.sparse.ops import norm1
@@ -53,16 +54,25 @@ def save_table(name, table):
 
 @pytest.fixture(scope="session")
 def testbed_results():
-    """Serial GESP + GEPP over all 53 matrices (Figures 2-6 raw data)."""
+    """Serial GESP + GEPP over all 53 matrices (Figures 2-6 raw data).
+
+    Each row carries the full :class:`repro.obs.RunRecord` of the traced
+    solve (``"record"``) — stage times for the Figure-6 breakdown are
+    read from its spans; the legacy ``"timings"`` dict stays for
+    benchmarks that only need stage seconds.
+    """
     rows = {}
     for tm in full_testbed():
         a = tm.build()
         n = a.ncols
         b = a @ np.ones(n)
+        tracer = Tracer(name=tm.name)
         t0 = time.perf_counter()
-        s = GESPSolver(a)
-        rep = s.solve(b)
+        with use_tracer(tracer):
+            s = GESPSolver(a)
+            rep = s.solve(b)
         t_total = time.perf_counter() - t0
+        record = tracer.record(matrix=tm.name, n=n, nnz=a.nnz)
         t0 = time.perf_counter()
         g = gepp_factor(a)
         t_gepp = time.perf_counter() - t0
@@ -85,6 +95,7 @@ def testbed_results():
             "err_gesp": float(np.abs(rep.x - 1.0).max()),
             "err_gepp": float(np.abs(x_gepp - 1.0).max()),
             "tiny": s.factors.n_tiny_pivots,
+            "record": record,
             "timings": dict(s.timings),
             "t_total": t_total,
             "t_gepp_factor": t_gepp,

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Docs lint: keep ARCHITECTURE.md and OBSERVABILITY.md honest.
+
+Checks (run in the test suite via tests/test_docs_lint.py, or directly
+with ``PYTHONPATH=src python scripts/check_docs.py``):
+
+1. every package under ``src/repro/`` is mentioned in
+   ``docs/ARCHITECTURE.md`` (as ``repro.<name>``), so the module map
+   cannot silently go stale when a package is added;
+2. every counter in the :data:`repro.obs.counters.COUNTERS` catalog is
+   documented in ``docs/OBSERVABILITY.md``, so the counter reference
+   stays complete.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+
+
+def repro_packages():
+    """All repro subpackage names (directories with an __init__.py)."""
+    return sorted(p.name for p in SRC.iterdir()
+                  if p.is_dir() and (p / "__init__.py").is_file())
+
+
+def missing_packages(text=None):
+    """Packages not mentioned in ARCHITECTURE.md as ``repro.<name>``."""
+    if text is None:
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+    return [name for name in repro_packages()
+            if f"repro.{name}" not in text]
+
+
+def missing_counters(text=None):
+    """Catalog counters whose names never appear in OBSERVABILITY.md."""
+    from repro.obs import counter_names
+
+    if text is None:
+        text = OBSERVABILITY.read_text(encoding="utf-8")
+    return [name for name in counter_names() if name not in text]
+
+
+def main():
+    status = 0
+    if not ARCHITECTURE.is_file():
+        print(f"missing: {ARCHITECTURE}")
+        status = 1
+    else:
+        for name in missing_packages():
+            print(f"docs/ARCHITECTURE.md: package repro.{name} not mentioned")
+            status = 1
+    if not OBSERVABILITY.is_file():
+        print(f"missing: {OBSERVABILITY}")
+        status = 1
+    else:
+        for name in missing_counters():
+            print(f"docs/OBSERVABILITY.md: counter {name} not documented")
+            status = 1
+    if status == 0:
+        print("docs lint: OK "
+              f"({len(repro_packages())} packages, all counters documented)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

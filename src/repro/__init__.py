@@ -37,6 +37,16 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.pdgstrs`   — distributed triangular solves (Figure 9)
 - :mod:`repro.matrices`  — testbed generators and suites
 - :mod:`repro.analysis`  — metrics and table rendering
+- :mod:`repro.obs`       — tracing spans, counters, JSON run records
+
+Tracing a solve (see docs/OBSERVABILITY.md)::
+
+    from repro.obs import Tracer, use_tracer, print_report
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        GESPSolver(a).solve(b)
+    print_report(tracer.record(matrix="demo"))
 """
 
 from repro.sparse import (
@@ -51,6 +61,7 @@ from repro.sparse import (
 from repro.driver import GESPOptions, GESPSolver, SolveReport, gesp_solve
 from repro.driver.dist_driver import DistributedGESPSolver
 from repro.factor import gepp_factor, gesp_factor, supernodal_factor
+from repro.obs import RunRecord, Tracer, use_tracer
 from repro.solve import componentwise_backward_error, iterative_refinement
 
 __version__ = "1.0.0"
@@ -73,5 +84,8 @@ __all__ = [
     "supernodal_factor",
     "componentwise_backward_error",
     "iterative_refinement",
+    "RunRecord",
+    "Tracer",
+    "use_tracer",
     "__version__",
 ]

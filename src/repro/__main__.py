@@ -13,6 +13,11 @@ Commands:
 Matrix files may be Matrix Market (``.mtx``) or Harwell-Boeing
 (``.rua``/``.rsa``/``.hb``); the right-hand side defaults to ``A·1`` so
 the printed forward error is meaningful without extra inputs.
+
+Every command accepts the global ``--trace`` flag (print a span-tree
+report of where the time and flops went after the command finishes) and
+``--trace-json PATH`` (dump the same trace as a JSON
+:class:`repro.obs.RunRecord`).  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -57,11 +62,31 @@ def cmd_solve(args):
         replace_tiny_pivots=not args.no_pivot_replacement,
         extra_precision_residual=args.extra_precision,
     )
-    solver = GESPSolver(a, opts)
-    report = solver.solve(b, forward_error=args.error_bound)
+    if args.nprocs > 1:
+        # simulated distributed pipeline: the trace then also carries the
+        # dmem.* message/wait counters from the virtual machine
+        from repro.driver.dist_driver import DistributedGESPSolver
+
+        if args.error_bound:
+            print("note: --error-bound is only computed by the serial "
+                  "solver; ignoring", file=sys.stderr)
+            args.error_bound = False
+        opts.symbolic_method = "symmetrized"
+        dsolver = DistributedGESPSolver(a, nprocs=args.nprocs, options=opts)
+        dsolver.factorize()
+        report = dsolver.solve(b)
+        nnz_lu = dsolver.symbolic.nnz_lu
+        n_tiny = dsolver.factor_run.n_tiny_pivots
+    else:
+        solver = GESPSolver(a, opts)
+        report = solver.solve(b, forward_error=args.error_bound)
+        nnz_lu = solver.symbolic.nnz_lu
+        n_tiny = solver.factors.n_tiny_pivots
     print(f"matrix           : {args.matrix}  (n={n}, nnz={a.nnz})")
-    print(f"fill nnz(L+U)    : {solver.symbolic.nnz_lu}")
-    print(f"tiny pivots      : {solver.factors.n_tiny_pivots}")
+    if args.nprocs > 1:
+        print(f"virtual procs    : {args.nprocs}")
+    print(f"fill nnz(L+U)    : {nnz_lu}")
+    print(f"tiny pivots      : {n_tiny}")
     print(f"refinement steps : {report.refine_steps}")
     print(f"backward error   : {report.berr:.3e}")
     if not args.rhs:
@@ -175,11 +200,19 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="GESP: sparse Gaussian elimination with static pivoting")
+    parser.add_argument("--trace", action="store_true",
+                        help="print a span-tree trace report after the "
+                             "command finishes")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="write the trace as a JSON RunRecord to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve", help="factor and solve a linear system")
     p.add_argument("matrix", help="matrix file (.mtx/.rua) or testbed name")
     p.add_argument("--rhs", help="right-hand side file (default: A·1)")
+    p.add_argument("--nprocs", type=int, default=1,
+                   help="solve on a simulated P-processor machine "
+                        "(default: serial in-process solver)")
     p.add_argument("--output", help="write the solution vector here")
     p.add_argument("--row-perm", default="mc64_product",
                    choices=["mc64_product", "mc64_bottleneck",
@@ -223,7 +256,24 @@ def main(argv=None):
     p.set_defaults(fn=cmd_testbed)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if not (args.trace or args.trace_json):
+        return args.fn(args)
+
+    from repro.obs import Tracer, format_report, use_tracer
+
+    tracer = Tracer(name=args.command)
+    with use_tracer(tracer):
+        status = args.fn(args)
+    record = tracer.record(command=args.command,
+                           argv=list(argv) if argv is not None
+                           else sys.argv[1:])
+    if args.trace:
+        print()
+        print(format_report(record))
+    if args.trace_json:
+        record.dump(args.trace_json)
+        print(f"trace written    : {args.trace_json}")
+    return status
 
 
 if __name__ == "__main__":

@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Send", "Recv", "Compute", "Message"]
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Send", "Recv", "Compute", "Message",
+           "OpCounts", "count_ops"]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -78,3 +79,46 @@ class Message:
     payload: Any
     nbytes: int
     arrival: float = field(default=0.0, compare=False)
+
+
+@dataclass
+class OpCounts:
+    """Tally of the operations one rank program yields.
+
+    This counts at the *comm layer* — before the simulator sees anything
+    — so it is the ground truth the observability counters are checked
+    against (``dmem.msgs_sent`` must equal the summed ``messages`` of all
+    rank programs; the integration tests assert exactly that).
+    """
+
+    sends: int = 0       # Send ops yielded (logical sends)
+    messages: int = 0    # physical messages (sum of Send.count)
+    bytes_sent: int = 0  # sum of Send.nbytes
+    recvs: int = 0       # Recv ops yielded
+    computes: int = 0    # Compute ops yielded
+    flops: float = 0.0   # sum of Compute.flops
+
+
+def count_ops(program, counts: OpCounts):
+    """Wrap a rank program, tallying its yielded ops into ``counts``.
+
+    Transparent to the simulator: yields exactly what ``program`` yields
+    and forwards delivered messages (and the return value) unchanged.
+    """
+    resume = None
+    while True:
+        try:
+            op = program.send(resume) if resume is not None \
+                else next(program)
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(op, Send):
+            counts.sends += 1
+            counts.messages += op.count
+            counts.bytes_sent += op.nbytes
+        elif isinstance(op, Recv):
+            counts.recvs += 1
+        elif isinstance(op, Compute):
+            counts.computes += 1
+            counts.flops += op.flops
+        resume = yield op

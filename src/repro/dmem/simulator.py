@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Message, Recv, Send
 from repro.dmem.machine import MachineModel
+from repro.obs import add, annotate, get_tracer, trace
 
 __all__ = ["DeadlockError", "RankStats", "SimulationResult", "simulate"]
 
@@ -117,7 +118,42 @@ def simulate(programs, machine: MachineModel | None = None,
         Cost model; T3E-class defaults when omitted.
     max_events:
         Safety valve against runaway programs.
+
+    When a tracer is live, a ``dmem/simulate`` span is emitted carrying
+    the aggregate message/byte/wait counters plus a ``per_rank``
+    attribute with each rank's :class:`RankStats` (including the
+    per-message-kind blocked-time breakdown).  All of these derive from
+    the simulated clocks, so traces of a simulation are deterministic.
     """
+    with trace("dmem/simulate"):
+        result = _simulate(programs, machine, max_events)
+        if get_tracer().enabled:
+            add("dmem.msgs_sent", result.total_messages)
+            add("dmem.bytes_sent", result.total_bytes)
+            add("dmem.wait_time", sum(s.blocked_time for s in result.stats))
+            add("dmem.compute_time",
+                sum(s.compute_time for s in result.stats))
+            annotate(
+                elapsed=result.elapsed,
+                nranks=len(result.stats),
+                per_rank=[{
+                    "rank": s.rank,
+                    "time": s.time,
+                    "compute_time": s.compute_time,
+                    "blocked_time": s.blocked_time,
+                    "send_time": s.send_time,
+                    "flops": s.flops,
+                    "msgs_sent": s.msgs_sent,
+                    "msgs_received": s.msgs_received,
+                    "bytes_sent": s.bytes_sent,
+                    "bytes_received": s.bytes_received,
+                    "blocked_by_kind": {str(k): v for k, v
+                                        in s.blocked_by_kind.items()},
+                } for s in result.stats])
+        return result
+
+
+def _simulate(programs, machine, max_events) -> SimulationResult:
     machine = machine or MachineModel()
     nranks = len(programs)
     gens = list(programs)

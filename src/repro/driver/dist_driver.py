@@ -27,6 +27,7 @@ from repro.dmem.distribute import DistributedBlocks, distribute_matrix
 from repro.dmem.grid import ProcessGrid, best_grid
 from repro.dmem.machine import MachineModel
 from repro.driver.options import GESPOptions
+from repro.obs import Tracer, get_tracer, use_tracer
 from repro.ordering.colamd import column_ordering
 from repro.ordering.etree import etree_symmetric, postorder
 from repro.pdgstrf import FactorizationRun, pdgstrf
@@ -92,6 +93,7 @@ class DistributedGESPSolver:
     pipeline: bool = True
     edag_prune: bool = True
     dense_tail_threshold: float = 0.0
+    tracer: Tracer | None = None
 
     def __post_init__(self):
         if self.a.nrows != self.a.ncols:
@@ -99,8 +101,12 @@ class DistributedGESPSolver:
         if self.grid is None:
             self.grid = best_grid(self.nprocs)
         self.options.validate()
-        self._preprocess()
-        self._analyze()
+        if self.tracer is None:
+            ambient = get_tracer()
+            self.tracer = ambient if ambient.enabled else Tracer(name="gesp")
+        with use_tracer(self.tracer):
+            self._preprocess()
+            self._analyze()
         self.factor_run: FactorizationRun | None = None
 
     # ------------------------------------------------------------------ #
@@ -111,34 +117,39 @@ class DistributedGESPSolver:
         a = self.a
         n = a.ncols
         dr, dc = np.ones(n), np.ones(n)
-        if opts.equilibrate:
-            eq = equilibrate(a)
-            dr, dc = eq.dr.copy(), eq.dc.copy()
-            a = eq.apply(a)
-        if opts.row_perm != "none":
-            job = {"mc64_product": "product", "mc64_bottleneck": "bottleneck",
-                   "mc64_cardinality": "cardinality"}[opts.row_perm]
-            res = mc64(a, job=job,
-                       scale=(opts.scale_diagonal and job == "product"))
-            if opts.scale_diagonal and job == "product":
-                dr *= res.dr
-                dc *= res.dc
-                a = scale_cols(scale_rows(a, res.dr), res.dc)
-            perm_r = res.perm_r
-            a = permute_rows(a, perm_r)
-        else:
-            perm_r = np.arange(n, dtype=np.int64)
-        if opts.col_perm != "natural":
-            perm_c = column_ordering(a, method=opts.col_perm)
-            a = permute_symmetric(a, perm_c)
-        else:
-            perm_c = np.arange(n, dtype=np.int64)
-        # postorder the etree of the symmetrized pattern: makes supernode
-        # chains contiguous without changing fill (equivalent reordering)
-        parent = etree_symmetric(pattern_union_transpose(a))
-        post = postorder(parent)
-        a = permute_symmetric(a, post)
-        perm_c = post[perm_c]
+        with self.tracer.span("equil"):
+            if opts.equilibrate:
+                eq = equilibrate(a)
+                dr, dc = eq.dr.copy(), eq.dc.copy()
+                a = eq.apply(a)
+        with self.tracer.span("rowperm"):
+            if opts.row_perm != "none":
+                job = {"mc64_product": "product",
+                       "mc64_bottleneck": "bottleneck",
+                       "mc64_cardinality": "cardinality"}[opts.row_perm]
+                res = mc64(a, job=job,
+                           scale=(opts.scale_diagonal and job == "product"))
+                if opts.scale_diagonal and job == "product":
+                    dr *= res.dr
+                    dc *= res.dc
+                    a = scale_cols(scale_rows(a, res.dr), res.dc)
+                perm_r = res.perm_r
+                a = permute_rows(a, perm_r)
+            else:
+                perm_r = np.arange(n, dtype=np.int64)
+        with self.tracer.span("colperm"):
+            if opts.col_perm != "natural":
+                perm_c = column_ordering(a, method=opts.col_perm)
+                a = permute_symmetric(a, perm_c)
+            else:
+                perm_c = np.arange(n, dtype=np.int64)
+            # postorder the etree of the symmetrized pattern: makes
+            # supernode chains contiguous without changing fill (an
+            # equivalent reordering)
+            parent = etree_symmetric(pattern_union_transpose(a))
+            post = postorder(parent)
+            a = permute_symmetric(a, post)
+            perm_c = post[perm_c]
         self.a_factored = a
         self.perm_r = perm_r
         self.perm_c = perm_c
@@ -148,30 +159,33 @@ class DistributedGESPSolver:
 
     def _analyze(self):
         """Symbolic factorization, partition, DAG, distribution."""
-        self.symbolic = symbolic_lu_symmetrized(self.a_factored)
-        part = find_supernodes(self.symbolic)
-        if self.relax_size > 1:
-            part = relax_supernodes(self.symbolic, part,
-                                    relax_size=self.relax_size)
-        if self.dense_tail_threshold > 0.0:
-            from repro.symbolic.supernode import merge_dense_tail
+        with self.tracer.span("symbolic"):
+            self.symbolic = symbolic_lu_symmetrized(self.a_factored)
+            part = find_supernodes(self.symbolic)
+            if self.relax_size > 1:
+                part = relax_supernodes(self.symbolic, part,
+                                        relax_size=self.relax_size)
+            if self.dense_tail_threshold > 0.0:
+                from repro.symbolic.supernode import merge_dense_tail
 
-            part = merge_dense_tail(self.symbolic, part,
-                                    density_threshold=self.dense_tail_threshold)
-        self.part = split_supernodes(part, max_size=self.max_block_size)
-        self.dag = build_block_dag(self.symbolic, self.part)
-        self.dist: DistributedBlocks = distribute_matrix(
-            self.a_factored, self.symbolic, self.part, self.grid)
+                part = merge_dense_tail(
+                    self.symbolic, part,
+                    density_threshold=self.dense_tail_threshold)
+            self.part = split_supernodes(part, max_size=self.max_block_size)
+            self.dag = build_block_dag(self.symbolic, self.part)
+            self.dist: DistributedBlocks = distribute_matrix(
+                self.a_factored, self.symbolic, self.part, self.grid)
 
     # ------------------------------------------------------------------ #
 
     def factorize(self) -> FactorizationRun:
         """Run the simulated distributed factorization (paper Table 3)."""
-        self.factor_run = pdgstrf(
-            self.dist, self.dag, anorm=self.anorm, machine=self.machine,
-            pipeline=self.pipeline, edag_prune=self.edag_prune,
-            replace_tiny_pivots=self.options.replace_tiny_pivots,
-            tiny_pivot_scale=self.options.tiny_pivot_scale)
+        with use_tracer(self.tracer), self.tracer.span("factor"):
+            self.factor_run = pdgstrf(
+                self.dist, self.dag, anorm=self.anorm, machine=self.machine,
+                pipeline=self.pipeline, edag_prune=self.edag_prune,
+                replace_tiny_pivots=self.options.replace_tiny_pivots,
+                tiny_pivot_scale=self.options.tiny_pivot_scale)
         return self.factor_run
 
     def solve_distributed(self, b) -> SolveRun:
@@ -184,10 +198,11 @@ class DistributedGESPSolver:
         if self.factor_run is None:
             self.factorize()
         b = np.asarray(b, dtype=np.float64)
-        c = np.empty_like(b)
-        c[self.perm_c[self.perm_r]] = self.dr * b
-        run = pdgstrs(self.dist, c, machine=self.machine)
-        x = self.dc * run.x[self.perm_c]
+        with use_tracer(self.tracer), self.tracer.span("solve"):
+            c = np.empty_like(b)
+            c[self.perm_c[self.perm_r]] = self.dr * b
+            run = pdgstrs(self.dist, c, machine=self.machine)
+            x = self.dc * run.x[self.perm_c]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
     def solve_distributed_multi(self, b_block) -> SolveRun:
@@ -203,10 +218,11 @@ class DistributedGESPSolver:
         b_block = np.asarray(b_block, dtype=np.float64)
         if b_block.ndim != 2 or b_block.shape[0] != self.a.ncols:
             raise ValueError("b_block must be (n, nrhs)")
-        c = np.empty_like(b_block)
-        c[self.perm_c[self.perm_r], :] = self.dr[:, None] * b_block
-        run = pdgstrs(self.dist, c, machine=self.machine)
-        x = self.dc[:, None] * run.x[self.perm_c, :]
+        with use_tracer(self.tracer), self.tracer.span("solve"):
+            c = np.empty_like(b_block)
+            c[self.perm_c[self.perm_r], :] = self.dr[:, None] * b_block
+            run = pdgstrs(self.dist, c, machine=self.machine)
+            x = self.dc[:, None] * run.x[self.perm_c, :]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
     def solve(self, b, refine: bool | None = None):
@@ -231,17 +247,18 @@ class DistributedGESPSolver:
 
         opts = self.options
         do_refine = opts.refine if refine is None else refine
-        if not do_refine:
-            from repro.solve.refine import componentwise_backward_error
+        with use_tracer(self.tracer), self.tracer.span("solve"):
+            if not do_refine:
+                from repro.solve.refine import componentwise_backward_error
 
-            x = solve_once(b)
-            return SolveReport(x=x,
-                               berr=componentwise_backward_error(self.a, x, b),
-                               refine_steps=0)
-        res = iterative_refinement(
-            self.a, solve_once, b, max_steps=opts.refine_max_steps,
-            eps=opts.refine_eps, stagnation_factor=opts.refine_stagnation,
-            extra_precision=opts.extra_precision_residual)
+                x = solve_once(b)
+                return SolveReport(
+                    x=x, berr=componentwise_backward_error(self.a, x, b),
+                    refine_steps=0)
+            res = iterative_refinement(
+                self.a, solve_once, b, max_steps=opts.refine_max_steps,
+                eps=opts.refine_eps, stagnation_factor=opts.refine_stagnation,
+                extra_precision=opts.extra_precision_residual)
         return SolveReport(x=res.x, berr=res.berr, refine_steps=res.steps,
                            berr_history=res.berr_history,
                            converged=res.converged)

@@ -11,19 +11,23 @@ so the solve of ``A x = b`` is
     x[i] = dc[i] · z[pc[i]]              (apply Pcᵀ, Dc)
 
 with iterative refinement wrapped around the whole thing on the
-*original* A.  Per-step wall-clock timings are recorded so Figure 6's
-cost breakdown can be regenerated.
+*original* A.  Every stage runs inside a :mod:`repro.obs` span
+(``equil``/``rowperm``/``colperm``/``symbolic``/``factor``, then
+``solve``/``refine`` per solve), so Figure 6's cost breakdown can be
+regenerated from a trace; the legacy ``timings`` dict is kept as a thin
+view over those spans.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.driver.options import GESPOptions
 from repro.factor.gesp import GESPFactors, gesp_factor
+from repro.obs import Tracer, get_tracer, use_tracer
 from repro.scaling.equilibrate import equilibrate
 from repro.scaling.mc64 import mc64
 from repro.solve.errbound import forward_error_bound
@@ -64,6 +68,12 @@ class GESPSolver:
     options:
         A :class:`~repro.driver.options.GESPOptions`; paper defaults when
         omitted.
+    tracer:
+        A :class:`repro.obs.Tracer` to record spans into.  When omitted,
+        the ambient tracer is used if one is installed (``use_tracer``);
+        otherwise a private tracer is created so the per-stage timings
+        remain available (the trace of a private tracer is reachable as
+        ``solver.tracer``).
 
     Attributes
     ----------
@@ -73,90 +83,113 @@ class GESPSolver:
     perm_r, perm_c, dr, dc:
         The step-(1)/(2) transforms (destination-convention permutations
         and scale vectors).
+    tracer:
+        The :class:`repro.obs.Tracer` the build and solve spans went to.
     timings:
-        Dict of per-phase seconds: ``equil``, ``rowperm``, ``colperm``,
+        Backward-compat view over the stage spans: dict of per-phase
+        seconds with keys ``equil``, ``rowperm``, ``colperm``,
         ``symbolic``, ``factor`` — the raw material of Figure 6.
     """
 
-    def __init__(self, a: CSCMatrix, options: GESPOptions | None = None):
+    _STAGES = ("equil", "rowperm", "colperm", "symbolic", "factor")
+
+    def __init__(self, a: CSCMatrix, options: GESPOptions | None = None,
+                 tracer: Tracer | None = None):
         if a.nrows != a.ncols:
             raise ValueError("GESPSolver requires a square matrix")
         self.a = a
         self.options = (options or GESPOptions()).validate()
-        self.timings = {}
-        self._build()
+        if tracer is None:
+            ambient = get_tracer()
+            tracer = ambient if ambient.enabled else Tracer(name="gesp")
+        self.tracer = tracer
+        self._stage_spans = {}
+        with use_tracer(self.tracer):
+            self._build()
+
+    @property
+    def timings(self):
+        """Per-stage seconds, derived from the build spans (same keys as
+        the pre-observability ad-hoc dict)."""
+        return {name: span.duration
+                for name, span in self._stage_spans.items()}
 
     # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _stage(self, name):
+        """Open one top-level build-stage span and remember it."""
+        with self.tracer.span(name) as span:
+            self._stage_spans[name] = span
+            yield span
 
     def _build(self):
         opts = self.options
         n = self.a.ncols
         a = self.a
 
-        t0 = time.perf_counter()
-        if opts.equilibrate:
-            eq = equilibrate(a)
-            dr, dc = eq.dr.copy(), eq.dc.copy()
-            a = eq.apply(a)
-        else:
-            dr, dc = np.ones(n), np.ones(n)
-        self.timings["equil"] = time.perf_counter() - t0
+        with self._stage("equil"):
+            if opts.equilibrate:
+                eq = equilibrate(a)
+                dr, dc = eq.dr.copy(), eq.dc.copy()
+                a = eq.apply(a)
+            else:
+                dr, dc = np.ones(n), np.ones(n)
 
-        t0 = time.perf_counter()
-        if opts.row_perm != "none":
-            job = {"mc64_product": "product",
-                   "mc64_bottleneck": "bottleneck",
-                   "mc64_cardinality": "cardinality"}[opts.row_perm]
-            res = mc64(a, job=job,
-                       scale=(opts.scale_diagonal and job == "product"))
-            perm_r = res.perm_r
-            if opts.scale_diagonal and job == "product":
-                dr *= res.dr
-                dc *= res.dc
-                a = scale_cols(scale_rows(a, res.dr), res.dc)
-            a = permute_rows(a, perm_r)
-        else:
-            perm_r = np.arange(n, dtype=np.int64)
-        self.timings["rowperm"] = time.perf_counter() - t0
+        with self._stage("rowperm"):
+            if opts.row_perm != "none":
+                job = {"mc64_product": "product",
+                       "mc64_bottleneck": "bottleneck",
+                       "mc64_cardinality": "cardinality"}[opts.row_perm]
+                res = mc64(a, job=job,
+                           scale=(opts.scale_diagonal and job == "product"))
+                perm_r = res.perm_r
+                if opts.scale_diagonal and job == "product":
+                    dr *= res.dr
+                    dc *= res.dc
+                    a = scale_cols(scale_rows(a, res.dr), res.dc)
+                a = permute_rows(a, perm_r)
+            else:
+                perm_r = np.arange(n, dtype=np.int64)
 
-        t0 = time.perf_counter()
-        if opts.col_perm != "natural":
-            from repro.ordering.colamd import column_ordering
+        with self._stage("colperm"):
+            if opts.col_perm != "natural":
+                from repro.ordering.colamd import column_ordering
 
-            perm_c = column_ordering(a, method=opts.col_perm)
-            a = permute_symmetric(a, perm_c)
-        else:
-            perm_c = np.arange(n, dtype=np.int64)
-        self.timings["colperm"] = time.perf_counter() - t0
+                perm_c = column_ordering(a, method=opts.col_perm)
+                a = permute_symmetric(a, perm_c)
+            else:
+                perm_c = np.arange(n, dtype=np.int64)
 
-        t0 = time.perf_counter()
-        sym = symbolic_lu(a, method=opts.symbolic_method)
-        self.timings["symbolic"] = time.perf_counter() - t0
+        with self._stage("symbolic"):
+            sym = symbolic_lu(a, method=opts.symbolic_method)
 
-        t0 = time.perf_counter()
-        if opts.diag_block_pivoting > 0.0:
-            # §5 extension: mixed static / within-diagonal-block pivoting.
-            # Requires the symmetrized (supernodal) pattern; the resulting
-            # factors satisfy P·A_factored = L·U with block-diagonal P,
-            # absorbed inside BlockPivotedFactors.solve.
-            from repro.factor.blockpivot import supernodal_factor_block_pivoting
-            from repro.symbolic.fill import symbolic_lu_symmetrized
+        with self._stage("factor"):
+            if opts.diag_block_pivoting > 0.0:
+                # §5 extension: mixed static / within-diagonal-block
+                # pivoting.  Requires the symmetrized (supernodal)
+                # pattern; the resulting factors satisfy
+                # P·A_factored = L·U with block-diagonal P, absorbed
+                # inside BlockPivotedFactors.solve.
+                from repro.factor.blockpivot import (
+                    supernodal_factor_block_pivoting,
+                )
+                from repro.symbolic.fill import symbolic_lu_symmetrized
 
-            sym_s = sym if sym.symmetrized else symbolic_lu_symmetrized(a)
-            self.factors = supernodal_factor_block_pivoting(
-                a, sym=sym_s,
-                pivot_threshold=opts.diag_block_pivoting,
-                replace_tiny_pivots=opts.replace_tiny_pivots,
-                tiny_pivot_scale=opts.tiny_pivot_scale)
-        else:
-            policy = ("column_max" if opts.aggressive_pivot_replacement
-                      else "sqrt_eps")
-            self.factors = gesp_factor(
-                a, sym=sym,
-                replace_tiny_pivots=opts.replace_tiny_pivots,
-                tiny_pivot_scale=opts.tiny_pivot_scale,
-                pivot_policy=policy)
-        self.timings["factor"] = time.perf_counter() - t0
+                sym_s = sym if sym.symmetrized else symbolic_lu_symmetrized(a)
+                self.factors = supernodal_factor_block_pivoting(
+                    a, sym=sym_s,
+                    pivot_threshold=opts.diag_block_pivoting,
+                    replace_tiny_pivots=opts.replace_tiny_pivots,
+                    tiny_pivot_scale=opts.tiny_pivot_scale)
+            else:
+                policy = ("column_max" if opts.aggressive_pivot_replacement
+                          else "sqrt_eps")
+                self.factors = gesp_factor(
+                    a, sym=sym,
+                    replace_tiny_pivots=opts.replace_tiny_pivots,
+                    tiny_pivot_scale=opts.tiny_pivot_scale,
+                    pivot_policy=policy)
 
         self.perm_r = perm_r
         self.perm_c = perm_c
@@ -201,28 +234,31 @@ class GESPSolver:
         opts = self.options
         do_refine = opts.refine if refine is None else refine
         b = np.asarray(b)
-        if do_refine:
-            res: RefinementResult = iterative_refinement(
-                self.a, self.solve_once, b,
-                max_steps=opts.refine_max_steps,
-                eps=opts.refine_eps,
-                stagnation_factor=opts.refine_stagnation,
-                extra_precision=opts.extra_precision_residual)
-            report = SolveReport(x=res.x, berr=res.berr,
-                                 refine_steps=res.steps,
-                                 berr_history=res.berr_history,
-                                 converged=res.converged)
-        else:
-            from repro.solve.refine import componentwise_backward_error
+        with use_tracer(self.tracer), self.tracer.span("solve"):
+            if do_refine:
+                res: RefinementResult = iterative_refinement(
+                    self.a, self.solve_once, b,
+                    max_steps=opts.refine_max_steps,
+                    eps=opts.refine_eps,
+                    stagnation_factor=opts.refine_stagnation,
+                    extra_precision=opts.extra_precision_residual)
+                report = SolveReport(x=res.x, berr=res.berr,
+                                     refine_steps=res.steps,
+                                     berr_history=res.berr_history,
+                                     converged=res.converged)
+            else:
+                from repro.solve.refine import componentwise_backward_error
 
-            x = self.solve_once(b)
-            report = SolveReport(
-                x=x,
-                berr=componentwise_backward_error(self.a, x, b),
-                refine_steps=0, berr_history=[], converged=True)
-        if forward_error:
-            report.forward_error_estimate = forward_error_bound(
-                self.a, self.solve_once, self.solve_transpose, report.x, b)
+                x = self.solve_once(b)
+                report = SolveReport(
+                    x=x,
+                    berr=componentwise_backward_error(self.a, x, b),
+                    refine_steps=0, berr_history=[], converged=True)
+            if forward_error:
+                with self.tracer.span("errbound"):
+                    report.forward_error_estimate = forward_error_bound(
+                        self.a, self.solve_once, self.solve_transpose,
+                        report.x, b)
         return report
 
     def solve_multi(self, b_block, refine: bool | None = None,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import add, annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import norm1
 from repro.symbolic.fill import SymbolicLU, symbolic_lu
@@ -110,6 +111,18 @@ def gesp_factor(a: CSCMatrix, sym: SymbolicLU | None = None,
     ZeroDivisionError
         On an exactly zero pivot when ``replace_tiny_pivots`` is off.
     """
+    with trace("factor/gesp", pivot_policy=pivot_policy):
+        factors = _gesp_factor(a, sym, replace_tiny_pivots,
+                               tiny_pivot_scale, symbolic_method,
+                               pivot_policy)
+        add("factor.flops", factors.flops)
+        add("factor.tiny_pivots", factors.n_tiny_pivots)
+        annotate(tiny_pivot_threshold=factors.tiny_pivot_threshold)
+        return factors
+
+
+def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
+                 symbolic_method, pivot_policy) -> GESPFactors:
     if a.nrows != a.ncols:
         raise ValueError("gesp_factor requires a square matrix")
     n = a.ncols

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import add, annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import norm1
 from repro.symbolic.fill import SymbolicLU, symbolic_lu_symmetrized
@@ -231,6 +232,18 @@ def supernodal_factor(a: CSCMatrix,
     Numerically equivalent to :func:`repro.factor.gesp.gesp_factor` run on
     the symmetrized pattern — the tests assert exactly that.
     """
+    with trace("factor/supernodal"):
+        factors = _supernodal_factor(a, sym, part, max_block_size,
+                                     replace_tiny_pivots, tiny_pivot_scale)
+        add("factor.flops", factors.flops)
+        add("factor.tiny_pivots", factors.n_tiny_pivots)
+        annotate(nsuper=factors.part.nsuper,
+                 tiny_pivot_threshold=factors.tiny_pivot_threshold)
+        return factors
+
+
+def _supernodal_factor(a, sym, part, max_block_size, replace_tiny_pivots,
+                       tiny_pivot_scale) -> SupernodalFactors:
     if a.nrows != a.ncols:
         raise ValueError("supernodal_factor requires a square matrix")
     if sym is None:

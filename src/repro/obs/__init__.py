@@ -1,0 +1,61 @@
+"""repro.obs — pipeline-wide observability: tracing, counters, records.
+
+Three pieces (see docs/OBSERVABILITY.md for conventions and the full
+counter catalog):
+
+- :mod:`repro.obs.tracer` — hierarchical spans with typed counters and
+  events; an ambient tracer that is a zero-cost no-op by default;
+- :mod:`repro.obs.record` — :class:`RunRecord`, the JSON-serializable
+  capture of one traced run;
+- :mod:`repro.obs.report` — terminal pretty-printer (the
+  ``python -m repro --trace`` output).
+
+Typical use::
+
+    from repro.obs import Tracer, use_tracer, print_report
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = gesp_solve(a, b)
+    record = tracer.record(matrix="cfd01")
+    print_report(record)            # span tree + counter table
+    record.dump("trace.json")       # JSON, RunRecord.load round-trips
+"""
+
+from repro.obs.counters import COUNTERS, CounterSpec, counter_names
+from repro.obs.record import SCHEMA_VERSION, RunRecord
+from repro.obs.report import format_report, print_report
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    add,
+    annotate,
+    event,
+    get_tracer,
+    set_tracer,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "COUNTERS",
+    "CounterSpec",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "add",
+    "annotate",
+    "counter_names",
+    "event",
+    "format_report",
+    "get_tracer",
+    "print_report",
+    "set_tracer",
+    "trace",
+    "use_tracer",
+]

@@ -1,0 +1,100 @@
+"""The counter catalog: every typed counter the pipeline emits.
+
+This is the single source of truth for counter names.  Instrumentation
+sites reference these names (as plain strings, to keep the disabled-path
+cost at zero), the docs lint (``scripts/check_docs.py``) checks that each
+name is documented in ``docs/OBSERVABILITY.md``, and the tests check that
+a full pipeline run emits a subset of this catalog.
+
+Naming convention: ``<layer>.<metric>`` with dots, all lowercase —
+distinct from span names, which use slashes (``factor/gesp``).  Units
+are singular (``flop``, ``byte``, ``second``); ``second`` counters in the
+``dmem`` namespace are *simulated* seconds (deterministic), everything
+else counts discrete deterministic quantities.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["COUNTERS", "CounterSpec", "counter_names"]
+
+
+class CounterSpec(NamedTuple):
+    """One catalog entry: name, unit, emitting module(s), meaning."""
+
+    name: str
+    unit: str
+    where: str
+    description: str
+
+
+COUNTERS = (
+    CounterSpec(
+        "scaling.mc64.matched", "column",
+        "repro/scaling/mc64.py",
+        "Columns matched to rows by the MC64 matching (= n on success)."),
+    CounterSpec(
+        "symbolic.fill_nnz", "nonzero",
+        "repro/symbolic/fill.py",
+        "nnz(L+U) of the static fill pattern, diagonal counted once."),
+    CounterSpec(
+        "symbolic.factor_flops", "flop",
+        "repro/symbolic/fill.py",
+        "Flops the numeric factorization will execute on the static "
+        "pattern (predicted from the symbolic structure)."),
+    CounterSpec(
+        "factor.flops", "flop",
+        "repro/factor/gesp.py, repro/factor/supernodal.py, "
+        "repro/pdgstrf/factor2d.py",
+        "Flops actually executed by the numeric factorization kernel "
+        "(serial kernels count locally; the distributed kernel sums the "
+        "simulator's per-rank flop counters)."),
+    CounterSpec(
+        "factor.tiny_pivots", "pivot",
+        "repro/factor/gesp.py, repro/factor/supernodal.py, "
+        "repro/pdgstrf/factor2d.py",
+        "Tiny pivots replaced by the static-pivoting safeguard "
+        "(paper step (3))."),
+    CounterSpec(
+        "solve.flops", "flop",
+        "repro/pdgstrs/driver.py",
+        "Flops of the distributed forward+back substitution."),
+    CounterSpec(
+        "refine.steps", "step",
+        "repro/solve/refine.py",
+        "Iterative-refinement steps performed after the initial solve "
+        "(paper step (4))."),
+    CounterSpec(
+        "dmem.msgs_sent", "message",
+        "repro/dmem/simulator.py",
+        "Physical messages sent across all ranks of one simulation "
+        "(a logical send with count=c counts as c messages, matching "
+        "the index[]/nzval[] split of the paper's data structure)."),
+    CounterSpec(
+        "dmem.bytes_sent", "byte",
+        "repro/dmem/simulator.py",
+        "Payload bytes moved across all ranks of one simulation."),
+    CounterSpec(
+        "dmem.wait_time", "second (simulated)",
+        "repro/dmem/simulator.py",
+        "Total time ranks spent blocked in Recv waiting for a message "
+        "(summed over ranks; per-rank values are in the dmem/simulate "
+        "span's per_rank attribute)."),
+    CounterSpec(
+        "dmem.compute_time", "second (simulated)",
+        "repro/dmem/simulator.py",
+        "Total time ranks spent in Compute ops (summed over ranks)."),
+)
+
+_BY_NAME = {c.name: c for c in COUNTERS}
+
+
+def counter_names():
+    """All public counter names, in catalog order."""
+    return [c.name for c in COUNTERS]
+
+
+def spec(name):
+    """Catalog entry for ``name`` (KeyError if unknown)."""
+    return _BY_NAME[name]

@@ -1,0 +1,125 @@
+"""RunRecord: one traced run, serializable to/from JSON.
+
+The JSON layout (schema version 1)::
+
+    {
+      "schema_version": 1,
+      "meta": {...},                     # free-form run metadata
+      "root": {                          # the span tree, recursively
+        "name": "run",
+        "start": 0.0,                    # clock reading at open
+        "end": 1.25,                     # clock reading at close (or null)
+        "attrs": {...},
+        "counters": {"factor.flops": 123, ...},
+        "events": [{"t": 0.3, "name": "berr", "step": 1, ...}, ...],
+        "children": [ ...same shape... ]
+      }
+    }
+
+NumPy scalars and small arrays in attrs/events are converted to native
+Python numbers/lists on serialization, so instrumentation sites can pass
+whatever the kernels already hold.  ``from_json(to_json(r))`` reproduces
+the span tree exactly (the round-trip test pins this down).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Span
+
+__all__ = ["RunRecord", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(obj):
+    """Fallback encoder for NumPy scalars/arrays in attrs and events."""
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return obj.item()               # numpy scalar
+    if hasattr(obj, "tolist"):
+        return obj.tolist()             # numpy array
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _span_to_dict(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "start": span.t_start,
+        "end": span.t_end,
+        "attrs": span.attrs,
+        "counters": span.counters,
+        "events": span.events,
+        "children": [_span_to_dict(c) for c in span.children],
+    }
+
+
+def _span_from_dict(d: dict) -> Span:
+    span = Span(d["name"], d.get("start", 0.0), d.get("attrs"))
+    span.t_end = d.get("end")
+    span.counters = dict(d.get("counters", {}))
+    span.events = list(d.get("events", []))
+    span.children = [_span_from_dict(c) for c in d.get("children", [])]
+    return span
+
+
+@dataclass
+class RunRecord:
+    """The trace of one run: a span tree plus run metadata."""
+
+    root: Span
+    meta: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------- query
+
+    def span(self, name):
+        """First span named ``name``, preorder, or None."""
+        return self.root.find(name)
+
+    def span_seconds(self, name):
+        """Duration of the first span named ``name`` (0.0 when absent)."""
+        s = self.root.find(name)
+        return s.duration if s is not None else 0.0
+
+    def counters(self):
+        """Every counter aggregated over the whole tree -> {name: total}."""
+        return self.root.all_counters()
+
+    def total(self, counter):
+        """One counter aggregated over the whole tree."""
+        return self.root.total(counter)
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "meta": self.meta,
+            "root": _span_to_dict(self.root),
+        }
+
+    def to_json(self, indent=2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunRecord":
+        return cls(root=_span_from_dict(d["root"]),
+                   meta=dict(d.get("meta", {})),
+                   schema_version=d.get("schema_version", SCHEMA_VERSION))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path):
+        """Write the JSON trace to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "RunRecord":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,80 @@
+"""Pretty-printer for traces: the ``python -m repro --trace`` output.
+
+Renders the span tree with durations and percent-of-parent, per-span
+counters inline, and a final aggregated counter table — a terminal
+rendering of the same data ``--trace-json`` dumps.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import _BY_NAME
+from repro.obs.record import RunRecord
+from repro.obs.tracer import Span
+
+__all__ = ["format_report", "print_report"]
+
+
+def _fmt_seconds(sec):
+    if sec >= 1.0:
+        return f"{sec:8.3f} s "
+    if sec >= 1e-3:
+        return f"{sec * 1e3:8.3f} ms"
+    return f"{sec * 1e6:8.1f} µs"
+
+
+def _fmt_count(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    value = int(value)
+    if abs(value) >= 10_000_000:
+        return f"{value / 1e6:.1f}M"
+    if abs(value) >= 10_000:
+        return f"{value / 1e3:.1f}k"
+    return str(value)
+
+
+def _span_lines(span: Span, prefix, child_prefix, total, lines):
+    pct = f"{100 * span.duration / total:5.1f}%" if total > 0 else "      "
+    inline = ""
+    if span.counters:
+        inline = "  [" + ", ".join(
+            f"{k}={_fmt_count(v)}" for k, v in sorted(span.counters.items())
+        ) + "]"
+    lines.append(f"{prefix}{span.name:<{max(1, 44 - len(prefix))}}"
+                 f" {_fmt_seconds(span.duration)} {pct}{inline}")
+    n = len(span.children)
+    for i, c in enumerate(span.children):
+        last = i == n - 1
+        branch = "└─ " if last else "├─ "
+        extend = "   " if last else "│  "
+        _span_lines(c, child_prefix + branch, child_prefix + extend,
+                    total, lines)
+
+
+def format_report(record: RunRecord) -> str:
+    """Render a :class:`~repro.obs.RunRecord` as a text report."""
+    root = record.root
+    total = root.duration
+    lines = []
+    if record.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in record.meta.items()
+                         if not isinstance(v, (list, dict)))
+        if meta:
+            lines.append(f"# {meta}")
+    _span_lines(root, "", "", total, lines)
+
+    agg = record.counters()
+    if agg:
+        lines.append("")
+        lines.append("counters (aggregated over all spans):")
+        width = max(len(k) for k in agg)
+        for name in sorted(agg):
+            unit = _BY_NAME[name].unit if name in _BY_NAME else ""
+            lines.append(f"  {name:<{width}}  {_fmt_count(agg[name]):>12} "
+                         f"{unit}")
+    return "\n".join(lines)
+
+
+def print_report(record: RunRecord):
+    """Print :func:`format_report` to stdout."""
+    print(format_report(record))

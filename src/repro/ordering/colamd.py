@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import pattern_ata, pattern_union_transpose
 
@@ -46,7 +47,12 @@ def column_ordering(a: CSCMatrix, method: str = "mmd_ata",
         return np.empty(0, dtype=np.int64)
     if method == "natural":
         return np.arange(n, dtype=np.int64)
+    with trace("ordering/colperm", method=method):
+        return _column_ordering(a, method, dense_row_frac)
 
+
+def _column_ordering(a: CSCMatrix, method: str, dense_row_frac: float):
+    n = a.ncols
     dense_tol = max(16, int(dense_row_frac * n))
     if method == "mmd_ata":
         from repro.ordering.mmd import minimum_degree

@@ -30,6 +30,7 @@ from repro.factor.supernodal import (
     panel_solve_l,
     panel_solve_u,
 )
+from repro.obs import add, annotate, trace
 from repro.symbolic.edag import BlockDAG
 
 __all__ = ["FactorizationRun", "pdgstrf"]
@@ -88,11 +89,17 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
     thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
         if replace_tiny_pivots else 0.0
 
-    sched = _build_schedule(dist, dag, edag_prune)
-    progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune, sched)
-             for r in range(dist.grid.size)]
-    sim = simulate(progs, machine=machine)
-    n_tiny = sum(sim.returns)
+    with trace("factor/pdgstrf", pipeline=pipeline, edag_prune=edag_prune):
+        sched = _build_schedule(dist, dag, edag_prune)
+        progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune,
+                               sched)
+                 for r in range(dist.grid.size)]
+        sim = simulate(progs, machine=machine)
+        n_tiny = sum(sim.returns)
+        add("factor.flops", sim.total_flops)
+        add("factor.tiny_pivots", n_tiny)
+        annotate(elapsed=sim.elapsed, nprocs=dist.grid.size,
+                 nsuper=dag.nsuper)
     dist.n_tiny_pivots = n_tiny
     dist.tiny_pivot_threshold = thresh
     return FactorizationRun(dist=dist, sim=sim, n_tiny_pivots=n_tiny,

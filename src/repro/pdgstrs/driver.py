@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.dmem.distribute import DistributedBlocks
 from repro.dmem.simulator import SimulationResult
+from repro.obs import add, trace
 from repro.pdgstrs.lsolve import pdgstrs_lower
 from repro.pdgstrs.usolve import pdgstrs_upper
 
@@ -64,6 +65,11 @@ class SolveRun:
 
 def pdgstrs(dist: DistributedBlocks, b, machine=None) -> SolveRun:
     """Solve ``L U x = b`` on the factored distributed blocks."""
-    y, low = pdgstrs_lower(dist, b, machine=machine)
-    x, up = pdgstrs_upper(dist, y, machine=machine)
-    return SolveRun(x=x, lower=low, upper=up)
+    with trace("solve/pdgstrs"):
+        with trace("solve/lower"):
+            y, low = pdgstrs_lower(dist, b, machine=machine)
+        with trace("solve/upper"):
+            x, up = pdgstrs_upper(dist, y, machine=machine)
+        run = SolveRun(x=x, lower=low, upper=up)
+        add("solve.flops", run.total_flops)
+        return run

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import scale_cols, scale_rows
 
@@ -56,6 +57,11 @@ def equilibrate(a: CSCMatrix) -> EquilibrationResult:
     """
     if a.nrows == 0 or a.ncols == 0:
         return EquilibrationResult(np.ones(a.nrows), np.ones(a.ncols), 1.0, 1.0, 0.0)
+    with trace("scaling/equilibrate"):
+        return _equilibrate(a)
+
+
+def _equilibrate(a: CSCMatrix) -> EquilibrationResult:
     absval = np.abs(a.nzval)
     amax = float(absval.max(initial=0.0))
 
@@ -77,4 +83,5 @@ def equilibrate(a: CSCMatrix) -> EquilibrationResult:
     dc[nz_cols] = 1.0 / colmax[nz_cols]
     colcnd = float(colmax[nz_cols].min() / colmax[nz_cols].max()) if nz_cols.any() else 1.0
 
+    annotate(rowcnd=rowcnd, colcnd=colcnd, amax=amax)
     return EquilibrationResult(dr, dc, rowcnd, colcnd, amax)

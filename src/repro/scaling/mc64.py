@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import add, annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.scaling.matching import (
     StructurallySingularError,
@@ -93,6 +94,14 @@ def mc64(a: CSCMatrix, job: str = "product", scale: bool = True) -> MC64Result:
     """
     if a.nrows != a.ncols:
         raise ValueError("mc64 requires a square matrix")
+    with trace("scaling/mc64", job=job):
+        res = _mc64(a, job, scale)
+        add("scaling.mc64.matched", int(np.count_nonzero(res.rowof >= 0)))
+        annotate(objective=res.objective)
+        return res
+
+
+def _mc64(a: CSCMatrix, job: str, scale: bool) -> MC64Result:
     n = a.ncols
     nz = a.prune_zeros()  # explicit zeros are not candidate pivots
 

@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import add, annotate, event, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import abs_matvec, spmv
 
@@ -116,6 +117,18 @@ def iterative_refinement(a: CSCMatrix, solve: Callable, b,
     extra_precision:
         Compute residuals in extended precision (§5 extension).
     """
+    with trace("refine"):
+        res = _iterative_refinement(a, solve, b, x0, max_steps, eps,
+                                    stagnation_factor, extra_precision)
+        add("refine.steps", res.steps)
+        annotate(converged=res.converged, berr=res.berr)
+        for i, berr in enumerate(res.berr_history):
+            event("berr", step=i, berr=berr)
+        return res
+
+
+def _iterative_refinement(a, solve, b, x0, max_steps, eps,
+                          stagnation_factor, extra_precision):
     b = np.asarray(b)
     x = np.array(solve(b) if x0 is None else x0, copy=True)
     berr = componentwise_backward_error(a, x, b, extra_precision=extra_precision)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import add, get_tracer, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import pattern_union_transpose
@@ -114,6 +115,13 @@ def symbolic_lu(a: CSCMatrix, method: str = "unsymmetric") -> SymbolicLU:
     raise ValueError(f"unknown symbolic method {method!r}")
 
 
+def _record_fill(sym: SymbolicLU):
+    """Emit the symbolic counters (only computed when a tracer is live)."""
+    if get_tracer().enabled:
+        add("symbolic.fill_nnz", int(sym.nnz_lu))
+        add("symbolic.factor_flops", int(sym.factor_flops()))
+
+
 def symbolic_lu_unsymmetric(a: CSCMatrix) -> SymbolicLU:
     """Exact fill of LU with diagonal pivots on an unsymmetric pattern.
 
@@ -124,6 +132,13 @@ def symbolic_lu_unsymmetric(a: CSCMatrix) -> SymbolicLU:
     of the testbed, and exactness is what the serial GESP kernel and the
     tests rely on.
     """
+    with trace("symbolic/fill", method="unsymmetric"):
+        sym = _symbolic_lu_unsymmetric(a)
+        _record_fill(sym)
+        return sym
+
+
+def _symbolic_lu_unsymmetric(a: CSCMatrix) -> SymbolicLU:
     if a.nrows != a.ncols:
         raise ValueError("symbolic_lu requires a square matrix")
     n = a.ncols
@@ -202,6 +217,13 @@ def symbolic_lu_symmetrized(a: CSCMatrix) -> SymbolicLU:
     L and U share the (transposed) pattern, exactly as in SuperLU_DIST's
     GESP analysis.
     """
+    with trace("symbolic/fill", method="symmetrized"):
+        sym = _symbolic_lu_symmetrized(a)
+        _record_fill(sym)
+        return sym
+
+
+def _symbolic_lu_symmetrized(a: CSCMatrix) -> SymbolicLU:
     if a.nrows != a.ncols:
         raise ValueError("symbolic_lu requires a square matrix")
     n = a.ncols

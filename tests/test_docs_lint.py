@@ -1,0 +1,47 @@
+"""Docs stay in sync with the code: run scripts/check_docs.py as a test."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    path = REPO / "scripts" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+check_docs = _load_check_docs()
+
+
+def test_architecture_md_mentions_every_package():
+    assert (REPO / "docs" / "ARCHITECTURE.md").is_file()
+    assert check_docs.missing_packages() == []
+
+
+def test_observability_md_documents_every_counter():
+    assert (REPO / "docs" / "OBSERVABILITY.md").is_file()
+    assert check_docs.missing_counters() == []
+
+
+def test_check_docs_cli_exit_status():
+    assert check_docs.main() == 0
+
+
+def test_lint_catches_a_missing_package():
+    # feed the linter a doc that omits a package: it must notice
+    text = "\n".join(f"repro.{p}" for p in check_docs.repro_packages()[1:])
+    assert check_docs.missing_packages(text) == \
+        [check_docs.repro_packages()[0]]
+
+
+def test_lint_catches_a_missing_counter():
+    from repro.obs import counter_names
+
+    names = counter_names()
+    text = "\n".join(names[:-1])
+    assert check_docs.missing_counters(text) == [names[-1]]

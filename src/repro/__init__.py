@@ -32,6 +32,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.factor`    — GESP / GEPP / supernodal numeric kernels
 - :mod:`repro.solve`     — triangular solves, refinement, error bounds
 - :mod:`repro.driver`    — the Figure-1 pipeline (serial & distributed)
+- :mod:`repro.recovery`  — failure diagnosis + the solve-recovery ladder
 - :mod:`repro.dmem`      — virtual MPI: simulator, grid, distribution
 - :mod:`repro.pdgstrf`   — distributed factorization (Figure 8)
 - :mod:`repro.pdgstrs`   — distributed triangular solves (Figure 9)
@@ -62,6 +63,7 @@ from repro.driver import GESPOptions, GESPSolver, SolveReport, gesp_solve
 from repro.driver.dist_driver import DistributedGESPSolver
 from repro.factor import gepp_factor, gesp_factor, supernodal_factor
 from repro.obs import RunRecord, Tracer, use_tracer
+from repro.recovery import recover_solve
 from repro.solve import componentwise_backward_error, iterative_refinement
 
 __version__ = "1.0.0"
@@ -78,6 +80,7 @@ __all__ = [
     "GESPSolver",
     "SolveReport",
     "gesp_solve",
+    "recover_solve",
     "DistributedGESPSolver",
     "gesp_factor",
     "gepp_factor",

@@ -62,6 +62,16 @@ def cmd_solve(args):
         replace_tiny_pivots=not args.no_pivot_replacement,
         extra_precision_residual=args.extra_precision,
     )
+    fault_plan = None
+    if args.fault_plan:
+        from repro.dmem.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        if args.nprocs <= 1:
+            print("note: --fault-plan only affects the simulated "
+                  "distributed pipeline; use --nprocs > 1",
+                  file=sys.stderr)
+    nnz_lu = n_tiny = None
     if args.nprocs > 1:
         # simulated distributed pipeline: the trace then also carries the
         # dmem.* message/wait counters from the virtual machine
@@ -72,11 +82,17 @@ def cmd_solve(args):
                   "solver; ignoring", file=sys.stderr)
             args.error_bound = False
         opts.symbolic_method = "symmetrized"
-        dsolver = DistributedGESPSolver(a, nprocs=args.nprocs, options=opts)
-        dsolver.factorize()
+        dsolver = DistributedGESPSolver(a, nprocs=args.nprocs, options=opts,
+                                        fault_plan=fault_plan)
         report = dsolver.solve(b)
-        nnz_lu = dsolver.symbolic.nnz_lu
-        n_tiny = dsolver.factor_run.n_tiny_pivots
+        if report.failure is None:
+            nnz_lu = dsolver.symbolic.nnz_lu
+            n_tiny = dsolver.factor_run.n_tiny_pivots
+    elif args.recover:
+        # escalate through the recovery ladder instead of a bare solve
+        from repro.recovery import recover_solve
+
+        report = recover_solve(a, b, options=opts)
     else:
         solver = GESPSolver(a, opts)
         report = solver.solve(b, forward_error=args.error_bound)
@@ -85,10 +101,16 @@ def cmd_solve(args):
     print(f"matrix           : {args.matrix}  (n={n}, nnz={a.nnz})")
     if args.nprocs > 1:
         print(f"virtual procs    : {args.nprocs}")
-    print(f"fill nnz(L+U)    : {nnz_lu}")
-    print(f"tiny pivots      : {n_tiny}")
+    if nnz_lu is not None:
+        print(f"fill nnz(L+U)    : {nnz_lu}")
+        print(f"tiny pivots      : {n_tiny}")
     print(f"refinement steps : {report.refine_steps}")
     print(f"backward error   : {report.berr:.3e}")
+    if report.recovery is not None:
+        print(f"recovery path    : {' -> '.join(report.recovery.path)}")
+    if report.failure is not None:
+        print(f"FAILED           : {report.failure}")
+        return 1
     if not args.rhs:
         print(f"forward error    : {np.abs(report.x - 1.0).max():.3e}  "
               "(vs x* = ones)")
@@ -97,7 +119,7 @@ def cmd_solve(args):
     if args.output:
         np.savetxt(args.output, report.x)
         print(f"solution written : {args.output}")
-    return 0
+    return 0 if report.converged or not args.recover else 1
 
 
 def cmd_analyze(args):
@@ -224,6 +246,15 @@ def main(argv=None):
     p.add_argument("--no-pivot-replacement", action="store_true")
     p.add_argument("--extra-precision", action="store_true")
     p.add_argument("--error-bound", action="store_true")
+    p.add_argument("--recover", action="store_true",
+                   help="escalate through the solve-recovery ladder "
+                        "(GESP -> extra precision -> Woodbury -> refactor "
+                        "-> GEPP -> GMRES) until the backward error is "
+                        "certified; exit 1 with a diagnosis otherwise")
+    p.add_argument("--fault-plan", metavar="PATH",
+                   help="JSON fault plan injected into the simulated "
+                        "machine (--nprocs > 1): message drop/duplication/"
+                        "delay, rank slowdown, compute jitter")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("analyze", help="matrix + symbolic statistics")

@@ -11,19 +11,38 @@ machine model produce the timing, load-balance and communication-fraction
 measurements of Tables 3-5.
 
 - :mod:`~repro.dmem.comm` — the message-passing interface: ``Send``,
-  ``Recv`` (with ANY_SOURCE/ANY_TAG), ``Compute`` operations;
+  ``Recv`` (with ANY_SOURCE/ANY_TAG and optional timeouts), ``Compute``
+  operations, and the structured :class:`CommTimeoutError`;
 - :mod:`~repro.dmem.simulator` — the deterministic event loop and
   per-rank statistics (time, flops, bytes, messages, blocked time);
+- :mod:`~repro.dmem.faults` — seeded, deterministic fault injection
+  (message drop/duplication/delay, rank slowdown, compute jitter);
 - :mod:`~repro.dmem.machine` — the T3E-class cost model;
 - :mod:`~repro.dmem.grid` — the 2-D process grid;
 - :mod:`~repro.dmem.distribute` — the supernodal 2-D block-cyclic
   distribution and per-rank block storage (paper Figure 7).
 """
 
-from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Send, Recv, Compute
+from repro.dmem.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommTimeoutError,
+    Compute,
+    Recv,
+    Send,
+    Timeout,
+    recv_with_retry,
+)
+from repro.dmem.faults import DropRule, FaultPlan
 from repro.dmem.machine import MachineModel
 from repro.dmem.grid import ProcessGrid, best_grid
-from repro.dmem.simulator import DeadlockError, RankStats, SimulationResult, simulate
+from repro.dmem.simulator import (
+    BlockedRank,
+    DeadlockError,
+    RankStats,
+    SimulationResult,
+    simulate,
+)
 from repro.dmem.distribute import DistributedBlocks, distribute_matrix
 
 __all__ = [
@@ -32,9 +51,15 @@ __all__ = [
     "Send",
     "Recv",
     "Compute",
+    "Timeout",
+    "CommTimeoutError",
+    "recv_with_retry",
+    "DropRule",
+    "FaultPlan",
     "MachineModel",
     "ProcessGrid",
     "best_grid",
+    "BlockedRank",
     "DeadlockError",
     "RankStats",
     "SimulationResult",

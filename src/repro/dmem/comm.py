@@ -20,6 +20,19 @@ Semantics (matching the paper's usage of MPI):
 - ``ANY_SOURCE``/``ANY_TAG`` match the earliest-arriving available
   message (deterministic tie-break), which is what the paper's
   message-driven triangular solve relies on.
+
+Failure semantics (the robustness layer):
+
+- ``Recv(timeout=T)`` arms a *simulated-seconds* timeout: if no matching
+  message can complete the receive by ``call time + T``, the generator is
+  resumed with a :class:`Timeout` sentinel instead of a message (the
+  moral equivalent of ``MPI_Recv`` + ``MPI_Test`` polling with a
+  deadline).  Programs that never pass a timeout keep the original
+  block-forever semantics;
+- :func:`recv_with_retry` wraps the timeout in bounded-retry semantics
+  and raises a structured :class:`CommTimeoutError` when the retries are
+  exhausted, so an injected fault (dropped message, dead rank) surfaces
+  as a diagnosable error instead of a hang.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Send", "Recv", "Compute", "Message",
+           "Timeout", "CommTimeoutError", "recv_with_retry",
            "OpCounts", "count_ops"]
 
 ANY_SOURCE = -1
@@ -50,10 +64,17 @@ class Send:
 
 @dataclass
 class Recv:
-    """Blocking receive; resumes the generator with a :class:`Message`."""
+    """Blocking receive; resumes the generator with a :class:`Message`.
+
+    With ``timeout`` set (simulated seconds), the receive completes with
+    a :class:`Timeout` sentinel when no matching message can arrive by
+    ``call time + timeout`` — rank programs must then check
+    ``isinstance(msg, Timeout)`` (or use :func:`recv_with_retry`).
+    """
 
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
+    timeout: float | None = None
 
 
 @dataclass
@@ -72,13 +93,106 @@ class Compute:
 
 @dataclass
 class Message:
-    """A delivered message, handed back to the receiving generator."""
+    """A delivered message, handed back to the receiving generator.
+
+    ``msg_id`` identifies the *logical* send: a faithfully delivered
+    message and any injected duplicates of it share one id, so receivers
+    of unreliable transports can deduplicate (see
+    :class:`~repro.dmem.faults.FaultPlan`).
+    """
 
     source: int
     tag: int
     payload: Any
     nbytes: int
     arrival: float = field(default=0.0, compare=False)
+    msg_id: int = field(default=-1, compare=False)
+
+
+@dataclass
+class Timeout:
+    """Sentinel resumed into a generator when a ``Recv(timeout=...)``
+    deadline passed with no matching message delivered."""
+
+    source: int          # what the receive was waiting for
+    tag: int
+    deadline: float      # simulated time at which the timeout fired
+
+
+class CommTimeoutError(RuntimeError):
+    """A rank exhausted its receive retries waiting for a message.
+
+    Structured context for diagnosis (no grepping of the message needed):
+
+    Attributes
+    ----------
+    rank:
+        The failing rank (filled in by the simulator).
+    source, tag:
+        What the receive was waiting for (``-1`` = ANY).
+    timeout, attempts:
+        The per-attempt timeout (simulated seconds) and how many attempts
+        were made before giving up.
+    where:
+        Free-form protocol location, e.g. ``"pdgstrf step1 k=3"``.
+    clock:
+        Simulated time at failure (filled in by the simulator).
+    blocked:
+        Snapshot of every still-blocked rank at failure — a list of
+        :class:`BlockedRank` — filled in by the simulator.
+    """
+
+    def __init__(self, source, tag, timeout, attempts, where=""):
+        self.rank = None
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+        self.attempts = attempts
+        self.where = where
+        self.clock = None
+        self.blocked = []
+        super().__init__(self._describe())
+
+    def _describe(self):
+        src = "ANY" if self.source == ANY_SOURCE else self.source
+        tg = "ANY" if self.tag == ANY_TAG else self.tag
+        rank = "?" if self.rank is None else self.rank
+        msg = (f"rank {rank} gave up waiting for message (src={src}, "
+               f"tag={tg}) after {self.attempts} attempts of "
+               f"{self.timeout} simulated seconds")
+        if self.where:
+            msg += f" in {self.where}"
+        if self.blocked:
+            msg += "; blocked ranks: " + ", ".join(str(b) for b in self.blocked)
+        return msg
+
+    def refresh(self):
+        """Re-render the message after the simulator fills in context."""
+        self.args = (self._describe(),)
+        return self
+
+
+def recv_with_retry(source=ANY_SOURCE, tag=ANY_TAG, timeout=None,
+                    retries=2, where=""):
+    """Receive with bounded retries — ``yield from`` this in a rank program.
+
+    Yields ``Recv(source, tag, timeout)`` up to ``1 + retries`` times,
+    returning the first real :class:`Message`.  When every attempt times
+    out, raises :class:`CommTimeoutError` (which the simulator enriches
+    with rank/clock/blocked-state context before propagating).  With
+    ``timeout=None`` this is a plain blocking receive.
+    """
+    if timeout is None:
+        return (yield Recv(source=source, tag=tag))
+    attempts = 0
+    while True:
+        m = yield Recv(source=source, tag=tag, timeout=timeout)
+        if not isinstance(m, Timeout):
+            return m
+        attempts += 1
+        if attempts > retries:
+            raise CommTimeoutError(source=source, tag=tag, timeout=timeout,
+                                   attempts=attempts, where=where)
 
 
 @dataclass

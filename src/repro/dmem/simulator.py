@@ -17,21 +17,78 @@ This is conservative parallel-discrete-event simulation in the
 receives for commutative accumulations, the functional result is
 independent of delivery order (and the tests verify it against the
 serial kernels).
+
+Failure modes are first-class (docs/ROBUSTNESS.md):
+
+- a :class:`~repro.dmem.faults.FaultPlan` injects seeded, deterministic
+  message drops / duplications / delays and compute slowdown/jitter;
+- ``Recv(timeout=T)`` deadlines fire as :class:`~repro.dmem.comm.Timeout`
+  deliveries — when the whole machine stalls, the earliest-deadline
+  timeout is fired instead of declaring deadlock, so protocols with
+  timeouts degrade into diagnosable
+  :class:`~repro.dmem.comm.CommTimeoutError`\\ s rather than hangs;
+- a true deadlock (no timeouts armed) raises :class:`DeadlockError`
+  carrying the full per-rank blocked state in ``.blocked``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Message, Recv, Send
+from repro.dmem.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommTimeoutError,
+    Compute,
+    Message,
+    Recv,
+    Send,
+    Timeout,
+)
 from repro.dmem.machine import MachineModel
 from repro.obs import add, annotate, get_tracer, trace
 
-__all__ = ["DeadlockError", "RankStats", "SimulationResult", "simulate"]
+__all__ = ["BlockedRank", "DeadlockError", "RankStats", "SimulationResult",
+           "simulate"]
+
+# blocked_by_kind key used for waiting time that ended in a fired timeout
+TIMEOUT_KIND = "timeout"
+
+
+@dataclass(frozen=True)
+class BlockedRank:
+    """Snapshot of one parked rank: what it waits for and since when."""
+
+    rank: int
+    source: int          # pending Recv source (-1 = ANY_SOURCE)
+    tag: int             # pending Recv tag (-1 = ANY_TAG)
+    clock: float         # local clock at the moment it blocked
+    deadline: float | None = None   # armed timeout deadline, if any
+
+    def __str__(self):
+        src = "ANY" if self.source == ANY_SOURCE else self.source
+        tg = "ANY" if self.tag == ANY_TAG else self.tag
+        s = (f"rank {self.rank} waiting for (src={src}, tag={tg}) "
+             f"since t={self.clock:.3e}")
+        if self.deadline is not None:
+            s += f" (timeout at t={self.deadline:.3e})"
+        return s
 
 
 class DeadlockError(RuntimeError):
-    """All ranks are blocked and no message can satisfy any of them."""
+    """All ranks are blocked and no message can satisfy any of them.
+
+    ``blocked`` holds one :class:`BlockedRank` per parked rank — the
+    per-rank pending receive and local clock, so the failing protocol
+    step can be identified without re-running under a debugger.
+    """
+
+    def __init__(self, message="deadlock", blocked=()):
+        self.blocked = list(blocked)
+        if self.blocked:
+            message = (f"{message}: {len(self.blocked)} rank(s) blocked — "
+                       + "; ".join(str(b) for b in self.blocked))
+        super().__init__(message)
 
 
 @dataclass
@@ -48,6 +105,10 @@ class RankStats:
     msgs_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    # fault-injection accounting (all zero on a reliable machine)
+    msgs_dropped: int = 0       # this rank's sends lost in transit
+    msgs_duplicated: int = 0    # this rank's sends delivered twice
+    recv_timeouts: int = 0      # Recv deadlines that fired on this rank
     # blocked time attributed to the tag *kind* of the message that ended
     # the wait (tag mod 4 for the factorization protocol) — the per-cause
     # idle breakdown the paper extracted from the Apprentice tool ("idle
@@ -82,6 +143,18 @@ class SimulationResult:
     def total_bytes(self):
         return sum(s.bytes_sent for s in self.stats)
 
+    @property
+    def total_dropped(self):
+        return sum(s.msgs_dropped for s in self.stats)
+
+    @property
+    def total_duplicated(self):
+        return sum(s.msgs_duplicated for s in self.stats)
+
+    @property
+    def total_recv_timeouts(self):
+        return sum(s.recv_timeouts for s in self.stats)
+
     def load_balance_factor(self):
         """B = (sum f_i / P) / max f_i of paper Table 5 (flop-based)."""
         flops = [s.flops for s in self.stats]
@@ -106,7 +179,8 @@ class SimulationResult:
 
 
 def simulate(programs, machine: MachineModel | None = None,
-             max_events: int = 50_000_000) -> SimulationResult:
+             max_events: int = 50_000_000,
+             fault_plan=None) -> SimulationResult:
     """Run rank generators to completion under the machine model.
 
     Parameters
@@ -118,21 +192,29 @@ def simulate(programs, machine: MachineModel | None = None,
         Cost model; T3E-class defaults when omitted.
     max_events:
         Safety valve against runaway programs.
+    fault_plan:
+        A :class:`~repro.dmem.faults.FaultPlan` injecting deterministic
+        message/compute faults; ``None`` simulates a reliable machine.
 
     When a tracer is live, a ``dmem/simulate`` span is emitted carrying
     the aggregate message/byte/wait counters plus a ``per_rank``
     attribute with each rank's :class:`RankStats` (including the
     per-message-kind blocked-time breakdown).  All of these derive from
-    the simulated clocks, so traces of a simulation are deterministic.
+    the simulated clocks, so traces of a simulation are deterministic —
+    including under fault injection, whose decisions are seeded.
     """
     with trace("dmem/simulate"):
-        result = _simulate(programs, machine, max_events)
+        result = _simulate(programs, machine, max_events, fault_plan)
         if get_tracer().enabled:
             add("dmem.msgs_sent", result.total_messages)
             add("dmem.bytes_sent", result.total_bytes)
             add("dmem.wait_time", sum(s.blocked_time for s in result.stats))
             add("dmem.compute_time",
                 sum(s.compute_time for s in result.stats))
+            if fault_plan is not None or result.total_recv_timeouts:
+                add("dmem.msgs_dropped", result.total_dropped)
+                add("dmem.msgs_duplicated", result.total_duplicated)
+                add("dmem.recv_timeouts", result.total_recv_timeouts)
             annotate(
                 elapsed=result.elapsed,
                 nranks=len(result.stats),
@@ -147,13 +229,16 @@ def simulate(programs, machine: MachineModel | None = None,
                     "msgs_received": s.msgs_received,
                     "bytes_sent": s.bytes_sent,
                     "bytes_received": s.bytes_received,
+                    "msgs_dropped": s.msgs_dropped,
+                    "msgs_duplicated": s.msgs_duplicated,
+                    "recv_timeouts": s.recv_timeouts,
                     "blocked_by_kind": {str(k): v for k, v
                                         in s.blocked_by_kind.items()},
                 } for s in result.stats])
         return result
 
 
-def _simulate(programs, machine, max_events) -> SimulationResult:
+def _simulate(programs, machine, max_events, fault_plan) -> SimulationResult:
     machine = machine or MachineModel()
     nranks = len(programs)
     gens = list(programs)
@@ -163,15 +248,18 @@ def _simulate(programs, machine, max_events) -> SimulationResult:
 
     # mailbox[dest] = list of Message, kept in arrival order lazily
     mailbox = [[] for _ in range(nranks)]
-    # (rank) -> pending Recv op, or None
+    # (rank) -> (pending Recv op, armed deadline or None), or None
     waiting = [None] * nranks
+    # set by stall resolution: rank whose armed deadline must fire next
+    timeout_due = [False] * nranks
     alive = [True] * nranks
     # deterministic FIFO sequencing per (src, dst, tag)
     seq_counter = 0
-
-    runnable = list(range(nranks))
-    to_send = None  # value to send into the generator on next step
-    events = 0
+    # per-rank Compute op index (keys the fault plan's jitter stream)
+    compute_idx = [0] * nranks
+    # mutable countdowns for the plan's surgical drop rules
+    rule_counts = ([rule.count for rule in fault_plan.drop_rules]
+                   if fault_plan is not None else [])
 
     def match_index(r, op):
         """Earliest-arrival message in mailbox[r] matching op, else None."""
@@ -187,28 +275,120 @@ def _simulate(programs, machine, max_events) -> SimulationResult:
                 best, best_key = idx, key
         return best
 
+    def blocked_snapshot():
+        """BlockedRank for every live parked rank (diagnosis payload)."""
+        out = []
+        for r in range(nranks):
+            if alive[r] and waiting[r] is not None:
+                op, deadline = waiting[r]
+                out.append(BlockedRank(rank=r, source=op.source, tag=op.tag,
+                                       clock=clock[r], deadline=deadline))
+        return out
+
+    def enrich(err, r):
+        """Fill simulator context into a CommTimeoutError and re-raise."""
+        err.rank = r
+        err.clock = clock[r]
+        err.blocked = blocked_snapshot()
+        raise err.refresh()
+
+    def receive(r, m):
+        """Account for delivering message m to rank r; returns it."""
+        t_ready = max(clock[r], m.arrival)
+        wait = t_ready - clock[r]
+        stats[r].blocked_time += wait
+        kind = m.tag % 4 if m.tag >= 0 else m.tag
+        stats[r].blocked_by_kind[kind] = \
+            stats[r].blocked_by_kind.get(kind, 0.0) + wait
+        clock[r] = t_ready
+        stats[r].msgs_received += getattr(m, "_count", 1)
+        stats[r].bytes_received += m.nbytes
+        return m
+
+    def fire_timeout(r, op, deadline):
+        """Resume value for a Recv whose deadline passed unmet."""
+        wait = deadline - clock[r]
+        stats[r].blocked_time += wait
+        stats[r].blocked_by_kind[TIMEOUT_KIND] = \
+            stats[r].blocked_by_kind.get(TIMEOUT_KIND, 0.0) + wait
+        clock[r] = deadline
+        stats[r].recv_timeouts += 1
+        return Timeout(source=op.source, tag=op.tag, deadline=deadline)
+
+    def try_complete_recv(r, op, deadline):
+        """Attempt to complete a receive: a Message, a Timeout, or None
+        (must stay blocked)."""
+        idx = match_index(r, op)
+        if idx is not None:
+            m = mailbox[r][idx]
+            if deadline is not None and m.arrival > deadline:
+                # the matching message exists but arrives too late —
+                # the deadline fires first
+                return fire_timeout(r, op, deadline)
+            return receive(r, mailbox[r].pop(idx))
+        if timeout_due[r]:
+            timeout_due[r] = False
+            return fire_timeout(r, op, deadline)
+        return None
+
+    def do_send(r, op):
+        """Pay send costs and (subject to the fault plan) deliver."""
+        nonlocal seq_counter
+        clock[r] += machine.send_overhead * op.count
+        stats[r].send_time += machine.send_overhead * op.count
+        stats[r].msgs_sent += op.count
+        stats[r].bytes_sent += op.nbytes
+        if not (0 <= op.dest < nranks):
+            raise ValueError(f"rank {r} sent to invalid rank {op.dest}")
+        seq_counter += 1
+        seq = seq_counter
+        copies, delay_factor = 1, 0.0
+        if fault_plan is not None:
+            dropped = False
+            for i, rule in enumerate(fault_plan.drop_rules):
+                if rule_counts[i] > 0 and rule.matches(r, op.dest, op.tag):
+                    rule_counts[i] -= 1
+                    dropped = True
+                    break
+            if dropped:
+                copies = 0
+            else:
+                fate = fault_plan.message_fate(r, op.dest, op.tag, seq)
+                copies, delay_factor = fate.copies, fate.delay_factor
+        if copies == 0:
+            stats[r].msgs_dropped += op.count
+            return
+        transfer = machine.transfer_time(op.nbytes, op.count)
+        arrival = clock[r] + transfer * (1.0 + delay_factor)
+        for c in range(copies):
+            m = Message(source=r, tag=op.tag, payload=op.payload,
+                        nbytes=op.nbytes,
+                        # an injected duplicate trails the original by one
+                        # extra transfer time (it shares msg_id so the
+                        # receiver can deduplicate)
+                        arrival=arrival + c * max(transfer, machine.alpha),
+                        msg_id=seq)
+            if c > 0:
+                seq_counter += 1
+                stats[r].msgs_duplicated += op.count
+            m._seq = seq_counter if c > 0 else seq
+            m._count = op.count
+            mailbox[op.dest].append(m)
+
+    events = 0
+
     while True:
         progressed = False
         for r in range(nranks):
             if not alive[r]:
                 continue
             if waiting[r] is not None:
-                # try to satisfy the pending recv
-                idx = match_index(r, waiting[r])
-                if idx is None:
+                # try to satisfy the pending recv (or fire its deadline)
+                op, deadline = waiting[r]
+                resume_value = try_complete_recv(r, op, deadline)
+                if resume_value is None:
                     continue
-                m = mailbox[r].pop(idx)
-                t_ready = max(clock[r], m.arrival)
-                wait = t_ready - clock[r]
-                stats[r].blocked_time += wait
-                kind = m.tag % 4 if m.tag >= 0 else m.tag
-                stats[r].blocked_by_kind[kind] = \
-                    stats[r].blocked_by_kind.get(kind, 0.0) + wait
-                clock[r] = t_ready
-                stats[r].msgs_received += getattr(m, "_count", 1)
-                stats[r].bytes_received += m.nbytes
                 waiting[r] = None
-                resume_value = m
                 progressed = True
             else:
                 resume_value = None
@@ -229,56 +409,44 @@ def _simulate(programs, machine, max_events) -> SimulationResult:
                     stats[r].time = clock[r]
                     progressed = True
                     break
+                except CommTimeoutError as err:
+                    enrich(err, r)
                 if isinstance(op, Compute):
                     dt = op.seconds + (machine.compute_time(op.flops, op.width)
                                        if op.flops else 0.0)
+                    if fault_plan is not None:
+                        dt *= fault_plan.compute_scale(r, compute_idx[r])
+                        compute_idx[r] += 1
                     clock[r] += dt
                     stats[r].compute_time += dt
                     stats[r].flops += op.flops
                 elif isinstance(op, Send):
-                    clock[r] += machine.send_overhead * op.count
-                    stats[r].send_time += machine.send_overhead * op.count
-                    stats[r].msgs_sent += op.count
-                    stats[r].bytes_sent += op.nbytes
-                    seq_counter += 1
-                    m = Message(source=r, tag=op.tag, payload=op.payload,
-                                nbytes=op.nbytes,
-                                arrival=clock[r] + machine.transfer_time(
-                                    op.nbytes, op.count))
-                    m._seq = seq_counter
-                    m._count = op.count
-                    if not (0 <= op.dest < nranks):
-                        raise ValueError(f"rank {r} sent to invalid rank {op.dest}")
-                    mailbox[op.dest].append(m)
+                    do_send(r, op)
                     progressed = True
                 elif isinstance(op, Recv):
-                    idx = match_index(r, op)
-                    if idx is None:
-                        waiting[r] = op
+                    deadline = (clock[r] + op.timeout
+                                if op.timeout is not None else None)
+                    resume_value = try_complete_recv(r, op, deadline)
+                    if resume_value is None:
+                        waiting[r] = (op, deadline)
                         break
-                    m = mailbox[r].pop(idx)
-                    t_ready = max(clock[r], m.arrival)
-                    wait = t_ready - clock[r]
-                    stats[r].blocked_time += wait
-                    kind = m.tag % 4 if m.tag >= 0 else m.tag
-                    stats[r].blocked_by_kind[kind] = \
-                        stats[r].blocked_by_kind.get(kind, 0.0) + wait
-                    clock[r] = t_ready
-                    stats[r].msgs_received += getattr(m, "_count", 1)
-                    stats[r].bytes_received += m.nbytes
-                    resume_value = m
                     progressed = True
                 else:
                     raise TypeError(f"rank {r} yielded unknown op {op!r}")
         if not any(alive):
             break
         if not progressed:
-            # every live rank is blocked with no matching message
-            blocked = [r for r in range(nranks) if alive[r]]
-            detail = {r: (waiting[r].source, waiting[r].tag)
-                      for r in blocked if waiting[r] is not None}
-            raise DeadlockError(
-                f"deadlock: ranks {blocked} blocked; wants (src, tag): {detail}")
+            # every live rank is blocked with no matching message: fire
+            # the earliest armed timeout, or declare a (diagnosed)
+            # deadlock when no rank can time out
+            armed = [(waiting[r][1], r) for r in range(nranks)
+                     if alive[r] and waiting[r] is not None
+                     and waiting[r][1] is not None]
+            if armed:
+                _, rt = min(armed)
+                timeout_due[rt] = True
+                continue
+            raise DeadlockError(blocked=blocked_snapshot())
 
     for r in range(nranks):
         stats[r].time = clock[r]

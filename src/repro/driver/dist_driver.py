@@ -75,6 +75,15 @@ class DistributedGESPSolver:
         Supernode amalgamation threshold (0 disables).
     pipeline, edag_prune:
         Factorization variants (paper §3.2 ablations).
+    fault_plan:
+        Optional :class:`repro.dmem.faults.FaultPlan` injected into every
+        simulated phase (factorization and both triangular solves).  When
+        set, receives are armed with bounded-retry timeouts so injected
+        message loss surfaces as a structured
+        :class:`repro.dmem.comm.CommTimeoutError` rather than a hang.
+    recv_timeout, recv_retries:
+        Override the per-receive timeout (simulated seconds) and retry
+        budget used when a fault plan is active.
     dense_tail_threshold:
         §5 switch-to-dense: merge the trailing supernodes into one dense
         block when the bottom-right submatrix's fill density exceeds this
@@ -93,6 +102,9 @@ class DistributedGESPSolver:
     pipeline: bool = True
     edag_prune: bool = True
     dense_tail_threshold: float = 0.0
+    fault_plan: object | None = None
+    recv_timeout: float | None = None
+    recv_retries: int = 2
     tracer: Tracer | None = None
 
     def __post_init__(self):
@@ -185,7 +197,10 @@ class DistributedGESPSolver:
                 self.dist, self.dag, anorm=self.anorm, machine=self.machine,
                 pipeline=self.pipeline, edag_prune=self.edag_prune,
                 replace_tiny_pivots=self.options.replace_tiny_pivots,
-                tiny_pivot_scale=self.options.tiny_pivot_scale)
+                tiny_pivot_scale=self.options.tiny_pivot_scale,
+                fault_plan=self.fault_plan,
+                recv_timeout=self.recv_timeout,
+                recv_retries=self.recv_retries)
         return self.factor_run
 
     def solve_distributed(self, b) -> SolveRun:
@@ -201,7 +216,10 @@ class DistributedGESPSolver:
         with use_tracer(self.tracer), self.tracer.span("solve"):
             c = np.empty_like(b)
             c[self.perm_c[self.perm_r]] = self.dr * b
-            run = pdgstrs(self.dist, c, machine=self.machine)
+            run = pdgstrs(self.dist, c, machine=self.machine,
+                          fault_plan=self.fault_plan,
+                          recv_timeout=self.recv_timeout,
+                          recv_retries=self.recv_retries)
             x = self.dc * run.x[self.perm_c]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
@@ -221,7 +239,10 @@ class DistributedGESPSolver:
         with use_tracer(self.tracer), self.tracer.span("solve"):
             c = np.empty_like(b_block)
             c[self.perm_c[self.perm_r], :] = self.dr[:, None] * b_block
-            run = pdgstrs(self.dist, c, machine=self.machine)
+            run = pdgstrs(self.dist, c, machine=self.machine,
+                          fault_plan=self.fault_plan,
+                          recv_timeout=self.recv_timeout,
+                          recv_retries=self.recv_retries)
             x = self.dc[:, None] * run.x[self.perm_c, :]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
@@ -229,13 +250,31 @@ class DistributedGESPSolver:
         """Solve with iterative refinement (serial residuals around the
         distributed factors, gathered once) — the step-(4) numerics.
 
-        Returns a :class:`repro.driver.gesp_driver.SolveReport`.
+        Returns a :class:`repro.driver.gesp_driver.SolveReport`.  When
+        the simulated factorization dies of a communication failure
+        (fault-injected message loss surfacing as a
+        :class:`~repro.dmem.comm.CommTimeoutError`, or a deadlock), the
+        report comes back with ``converged=False`` and the structured
+        diagnosis in ``failure`` instead of the exception escaping.
         """
         from repro.driver.gesp_driver import SolveReport
         from repro.solve.refine import iterative_refinement
 
         if self.factor_run is None:
-            self.factorize()
+            try:
+                self.factorize()
+            except Exception as exc:
+                from repro.dmem.comm import CommTimeoutError
+                from repro.dmem.simulator import DeadlockError
+
+                if not isinstance(exc, (CommTimeoutError, DeadlockError)):
+                    raise
+                from repro.recovery.health import diagnose_comm_failure
+
+                return SolveReport(
+                    x=np.full(self.a.ncols, np.nan), berr=np.inf,
+                    refine_steps=0, converged=False,
+                    failure=diagnose_comm_failure(exc))
         gathered = self.dist.gather_to_supernodal()
 
         def solve_once(rhs):

@@ -48,7 +48,14 @@ __all__ = ["GESPSolver", "SolveReport", "gesp_solve"]
 
 @dataclass
 class SolveReport:
-    """Everything a benchmark wants to know about one solve."""
+    """Everything a benchmark wants to know about one solve.
+
+    ``failure`` (a :class:`repro.recovery.health.FailureDiagnosis`) and
+    ``recovery`` (a :class:`repro.recovery.ladder.RecoveryReport`) are
+    filled by the recovery ladder: when a solve could not be certified,
+    ``converged`` is False and ``failure`` says why; when the ladder had
+    to escalate, ``recovery`` records every rung attempted.
+    """
 
     x: np.ndarray
     berr: float
@@ -56,6 +63,8 @@ class SolveReport:
     berr_history: list = field(default_factory=list)
     converged: bool = True
     forward_error_estimate: float | None = None
+    failure: object | None = None
+    recovery: object | None = None
 
 
 class GESPSolver:
@@ -207,6 +216,21 @@ class GESPSolver:
                 self.factors.perturbed_columns, self.factors.pivot_deltas)
 
     # ------------------------------------------------------------------ #
+
+    def enable_woodbury(self):
+        """Activate Sherman-Morrison-Woodbury correction of the recorded
+        tiny-pivot perturbations (idempotent).  Returns True when a
+        correction is in effect — i.e. the factorization actually
+        perturbed something and subsequent :meth:`solve_once` calls go
+        through the exact Woodbury-corrected solve.  The recovery
+        ladder's ``smw`` rung calls this on demand; constructing it
+        costs one solve per perturbed column (the capacitance matrix).
+        """
+        if self._smw is None and self.factors.perturbed_columns.size:
+            self._smw = ShermanMorrisonSolver(
+                self.a.ncols, self.factors.solve,
+                self.factors.perturbed_columns, self.factors.pivot_deltas)
+        return self._smw is not None
 
     def _solve_factored(self, c):
         """z with (L U or SMW-corrected A_factored) z = c."""

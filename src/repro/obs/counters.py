@@ -85,6 +85,39 @@ COUNTERS = (
         "dmem.compute_time", "second (simulated)",
         "repro/dmem/simulator.py",
         "Total time ranks spent in Compute ops (summed over ranks)."),
+    CounterSpec(
+        "dmem.msgs_dropped", "message",
+        "repro/dmem/simulator.py",
+        "Messages destroyed in transit by an active fault plan "
+        "(drop rules plus probabilistic drops; count=c sends count as "
+        "c messages, like dmem.msgs_sent)."),
+    CounterSpec(
+        "dmem.msgs_duplicated", "message",
+        "repro/dmem/simulator.py",
+        "Extra message copies injected by an active fault plan "
+        "(duplicates share the original's msg_id so receivers can "
+        "deduplicate)."),
+    CounterSpec(
+        "dmem.recv_timeouts", "timeout",
+        "repro/dmem/simulator.py",
+        "Receive operations that gave up at their deadline instead of "
+        "delivering a message (each retry of recv_with_retry counts "
+        "once)."),
+    CounterSpec(
+        "recovery.attempts", "rung",
+        "repro/recovery/ladder.py",
+        "Recovery-ladder rungs attempted (the baseline GESP solve "
+        "counts as the first rung)."),
+    CounterSpec(
+        "recovery.rescues", "solve",
+        "repro/recovery/ladder.py",
+        "Solves certified by a rung above the baseline — the ladder "
+        "rescued a solve plain GESP could not certify."),
+    CounterSpec(
+        "recovery.failures", "solve",
+        "repro/recovery/ladder.py",
+        "Solves the ladder could not certify after exhausting every "
+        "rung (the report carries the failure diagnosis)."),
 )
 
 _BY_NAME = {c.name: c for c in COUNTERS}

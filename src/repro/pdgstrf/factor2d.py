@@ -21,10 +21,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dmem.comm import Compute, Recv, Send
+from repro.dmem.comm import Compute, Send, recv_with_retry
 from repro.dmem.distribute import DistributedBlocks
 from repro.dmem.machine import MachineModel
 from repro.dmem.simulator import SimulationResult, simulate
+
+# default per-attempt receive timeout (simulated seconds) when fault
+# injection is active: orders of magnitude above any legitimate wait at
+# the testbed's scale, so it only ever fires when the machine stalls
+DEFAULT_RECV_TIMEOUT = 1.0
+DEFAULT_RECV_RETRIES = 2
 from repro.factor.supernodal import (
     factor_diagonal_block,
     panel_solve_l,
@@ -66,7 +72,10 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
             pipeline: bool = True,
             edag_prune: bool = True,
             replace_tiny_pivots: bool = True,
-            tiny_pivot_scale: float | None = None) -> FactorizationRun:
+            tiny_pivot_scale: float | None = None,
+            fault_plan=None,
+            recv_timeout: float | None = None,
+            recv_retries: int = DEFAULT_RECV_RETRIES) -> FactorizationRun:
     """Factor the distributed matrix in place (values in ``dist`` become
     the L and U factors).
 
@@ -82,19 +91,31 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
         threshold; computed by the caller who still has the CSC form).
     machine, pipeline, edag_prune:
         See module docstring.
+    fault_plan:
+        A :class:`~repro.dmem.faults.FaultPlan` injecting deterministic
+        transport/compute faults into the simulation.
+    recv_timeout, recv_retries:
+        Per-attempt receive timeout (simulated seconds) and bounded
+        retry count for the rank programs.  The timeout defaults to
+        :data:`DEFAULT_RECV_TIMEOUT` whenever a fault plan is active, so
+        an injected dropped message surfaces as a structured
+        :class:`~repro.dmem.comm.CommTimeoutError` instead of a hang;
+        pass an explicit value to arm timeouts on a reliable machine too.
     """
     machine = machine or MachineModel()
     if tiny_pivot_scale is None:
         tiny_pivot_scale = float(np.sqrt(np.finfo(np.float64).eps))
     thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
         if replace_tiny_pivots else 0.0
+    if recv_timeout is None and fault_plan is not None:
+        recv_timeout = DEFAULT_RECV_TIMEOUT
 
     with trace("factor/pdgstrf", pipeline=pipeline, edag_prune=edag_prune):
         sched = _build_schedule(dist, dag, edag_prune)
         progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune,
-                               sched)
+                               sched, recv_timeout, recv_retries)
                  for r in range(dist.grid.size)]
-        sim = simulate(progs, machine=machine)
+        sim = simulate(progs, machine=machine, fault_plan=fault_plan)
         n_tiny = sum(sim.returns)
         add("factor.flops", sim.total_flops)
         add("factor.tiny_pivots", n_tiny)
@@ -161,7 +182,8 @@ def _build_schedule(dist, dag, edag_prune):
 
 
 def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
-                  pipeline, edag_prune, sched):
+                  pipeline, edag_prune, sched,
+                  recv_timeout=None, recv_retries=DEFAULT_RECV_RETRIES):
     """The SPMD program of one rank (a generator for the simulator)."""
     grid = dist.grid
     pr, pc = grid.coords(rank)
@@ -171,6 +193,12 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
     n_tiny = 0
     need_l_all = sched["need_l"]
     need_u_all = sched["need_u"]
+
+    def recv(source, tag, where):
+        """Source/tag-specific receive with the configured timeout and
+        bounded retries (plain blocking Recv when no timeout is set)."""
+        return recv_with_retry(source=source, tag=tag, timeout=recv_timeout,
+                               retries=recv_retries, where=where)
 
     # -------------------- step 1: factor block column K ---------------- #
 
@@ -195,7 +223,8 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
                            payload=d, nbytes=d.nbytes)
             dloc = d
         elif pc == kc and my_l:
-            m = yield Recv(source=grid.rank(kr, kc), tag=_tag(k, _DIAG_L))
+            m = yield from recv(grid.rank(kr, kc), _tag(k, _DIAG_L),
+                                f"pdgstrf step1 diag_l k={k}")
             dloc = m.payload
         else:
             dloc = None
@@ -229,7 +258,8 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
         if pc == kc:
             dloc = dist.diag[rank][k]
         else:
-            m = yield Recv(source=grid.rank(kr, kc), tag=_tag(k, _DIAG_U))
+            m = yield from recv(grid.rank(kr, kc), _tag(k, _DIAG_U),
+                                f"pdgstrf step2 diag_u k={k}")
             dloc = m.payload
         panel = []
         flops = 0
@@ -257,19 +287,23 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
             # messages so the mailbox stays clean
             if not edag_prune:
                 if pc != kc and need_l:
-                    yield Recv(source=grid.rank(pr, kc), tag=_tag(k, _L_PANEL))
+                    yield from recv(grid.rank(pr, kc), _tag(k, _L_PANEL),
+                                    f"pdgstrf drain l_panel k={k}")
                 if pr != kr and need_u:
-                    yield Recv(source=grid.rank(kr, pc), tag=_tag(k, _U_PANEL))
+                    yield from recv(grid.rank(kr, pc), _tag(k, _U_PANEL),
+                                    f"pdgstrf drain u_panel k={k}")
             return None
         if pc == kc:
             lpanel = [(i, dist.lblk[rank][(i, k)]) for i in need_l]
         else:
-            m = yield Recv(source=grid.rank(pr, kc), tag=_tag(k, _L_PANEL))
+            m = yield from recv(grid.rank(pr, kc), _tag(k, _L_PANEL),
+                                f"pdgstrf update l_panel k={k}")
             lpanel = m.payload
         if pr == kr:
             upanel = [(j, dist.ublk[rank][(k, j)]) for j in need_u]
         else:
-            m = yield Recv(source=grid.rank(kr, pc), tag=_tag(k, _U_PANEL))
+            m = yield from recv(grid.rank(kr, pc), _tag(k, _U_PANEL),
+                                f"pdgstrf update u_panel k={k}")
             upanel = m.payload
         ldict = dict(lpanel)
         udict = dict(upanel)

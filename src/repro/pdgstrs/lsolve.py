@@ -24,7 +24,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Recv, Send
+from repro.dmem.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Send,
+    recv_with_retry,
+)
 from repro.dmem.distribute import DistributedBlocks
 
 __all__ = ["pdgstrs_lower", "lower_solve_programs"]
@@ -45,17 +51,22 @@ def _contributor_map(dist: DistributedBlocks):
     return contrib
 
 
-def lower_solve_programs(dist: DistributedBlocks, b):
+def lower_solve_programs(dist: DistributedBlocks, b,
+                         recv_timeout=None, recv_retries=2):
     """Build one rank generator per process for the lower solve.
 
     Each generator returns a dict ``{K: y_K}`` of the solved subvectors
-    of the supernodes whose diagonal process it is.
+    of the supernodes whose diagonal process it is.  ``recv_timeout``
+    (simulated seconds) arms the message-driven loop's receives with
+    bounded-retry timeouts for running against an unreliable machine.
     """
     contrib = _contributor_map(dist)
-    return [_rank_lower(r, dist, b, contrib) for r in range(dist.grid.size)]
+    return [_rank_lower(r, dist, b, contrib, recv_timeout, recv_retries)
+            for r in range(dist.grid.size)]
 
 
-def pdgstrs_lower(dist: DistributedBlocks, b, machine=None):
+def pdgstrs_lower(dist: DistributedBlocks, b, machine=None,
+                  fault_plan=None, recv_timeout=None, recv_retries=2):
     """Simulate the lower solve; returns ``(y, SimulationResult)``.
 
     ``b`` may be a vector (n,) or a block of right-hand sides (n, nrhs) —
@@ -64,9 +75,13 @@ def pdgstrs_lower(dist: DistributedBlocks, b, machine=None):
     closing discussion anticipates).
     """
     from repro.dmem.simulator import simulate
+    from repro.pdgstrf.factor2d import DEFAULT_RECV_TIMEOUT
 
+    if recv_timeout is None and fault_plan is not None:
+        recv_timeout = DEFAULT_RECV_TIMEOUT
     b = np.asarray(b, dtype=np.float64)
-    sim = simulate(lower_solve_programs(dist, b), machine=machine)
+    sim = simulate(lower_solve_programs(dist, b, recv_timeout, recv_retries),
+                   machine=machine, fault_plan=fault_plan)
     y = np.empty(b.shape)
     xsup = dist.part.xsup
     for parts in sim.returns:
@@ -75,7 +90,8 @@ def pdgstrs_lower(dist: DistributedBlocks, b, machine=None):
     return y, sim
 
 
-def _rank_lower(rank, dist: DistributedBlocks, b, contrib):
+def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
+                recv_timeout=None, recv_retries=2):
     grid = dist.grid
     ns = dist.nsuper
     xsup = dist.part.xsup
@@ -155,9 +171,18 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib):
         yield from maybe_solve(k)
 
     # ---- message-driven main loop (the paper's receive-any loop) ------ #
+    # injected transport duplicates share the original's msg_id — apply
+    # each logical message once (the loop is not otherwise idempotent)
+    seen = set()
     remaining = n_x_expected + n_lsum_expected
     while remaining > 0:
-        m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)   # line (*) of Fig. 9
+        m = yield from recv_with_retry(              # line (*) of Fig. 9
+            source=ANY_SOURCE, tag=ANY_TAG,
+            timeout=recv_timeout, retries=recv_retries,
+            where=f"pdgstrs lower rank {rank} ({remaining} msgs pending)")
+        if m.msg_id in seen:
+            continue
+        seen.add(m.msg_id)
         remaining -= 1
         k, kind = divmod(m.tag, 2)
         if kind == _TAG_X:

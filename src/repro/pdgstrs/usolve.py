@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dmem.comm import ANY_SOURCE, ANY_TAG, Compute, Recv, Send
+from repro.dmem.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Send,
+    recv_with_retry,
+)
 from repro.dmem.distribute import DistributedBlocks
 
 __all__ = ["pdgstrs_upper", "upper_solve_programs"]
@@ -46,22 +52,29 @@ def _consumer_map(dist: DistributedBlocks):
     return consumers
 
 
-def upper_solve_programs(dist: DistributedBlocks, y):
+def upper_solve_programs(dist: DistributedBlocks, y,
+                         recv_timeout=None, recv_retries=2):
     contrib = _contributor_map(dist)
     consumers = _consumer_map(dist)
-    return [_rank_upper(r, dist, y, contrib, consumers)
+    return [_rank_upper(r, dist, y, contrib, consumers,
+                        recv_timeout, recv_retries)
             for r in range(dist.grid.size)]
 
 
-def pdgstrs_upper(dist: DistributedBlocks, y, machine=None):
+def pdgstrs_upper(dist: DistributedBlocks, y, machine=None,
+                  fault_plan=None, recv_timeout=None, recv_retries=2):
     """Simulate the upper solve; returns ``(x, SimulationResult)``.
 
     Accepts a vector (n,) or a block (n, nrhs), like the lower solve.
     """
     from repro.dmem.simulator import simulate
+    from repro.pdgstrf.factor2d import DEFAULT_RECV_TIMEOUT
 
+    if recv_timeout is None and fault_plan is not None:
+        recv_timeout = DEFAULT_RECV_TIMEOUT
     y = np.asarray(y, dtype=np.float64)
-    sim = simulate(upper_solve_programs(dist, y), machine=machine)
+    sim = simulate(upper_solve_programs(dist, y, recv_timeout, recv_retries),
+                   machine=machine, fault_plan=fault_plan)
     x = np.empty(y.shape)
     xsup = dist.part.xsup
     for parts in sim.returns:
@@ -70,7 +83,8 @@ def pdgstrs_upper(dist: DistributedBlocks, y, machine=None):
     return x, sim
 
 
-def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers):
+def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
+                recv_timeout=None, recv_retries=2):
     grid = dist.grid
     xsup = dist.part.xsup
     y = np.asarray(y, dtype=np.float64)
@@ -148,9 +162,18 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers):
     for k in sorted(my_diag, reverse=True):
         yield from maybe_solve(k)
 
+    # injected transport duplicates share the original's msg_id — apply
+    # each logical message once (the loop is not otherwise idempotent)
+    seen = set()
     remaining = n_x_expected + n_usum_expected
     while remaining > 0:
-        m = yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+        m = yield from recv_with_retry(
+            source=ANY_SOURCE, tag=ANY_TAG,
+            timeout=recv_timeout, retries=recv_retries,
+            where=f"pdgstrs upper rank {rank} ({remaining} msgs pending)")
+        if m.msg_id in seen:
+            continue
+        seen.add(m.msg_id)
         remaining -= 1
         k, kind = divmod(m.tag, 2)
         if kind == _TAG_X:

@@ -1,0 +1,47 @@
+"""Solve recovery: failure classification + an escalation ladder.
+
+GESP can fail — near-singular systems, heavy tiny-pivot replacement,
+refinement stagnation, injected communication faults in the simulated
+distributed runs.  This package makes those failures *diagnosable and
+recoverable* instead of silent:
+
+- :mod:`~repro.recovery.health` — the failure taxonomy
+  (:class:`FailureKind`) and structured health checks over the matrix
+  pattern, the computed factors, and refinement outcomes;
+- :mod:`~repro.recovery.ladder` — :func:`recover_solve`, which climbs
+  baseline GESP → extended-precision refinement → Sherman-Morrison-
+  Woodbury pivot correction → aggressive refactorization → GEPP →
+  ILU-preconditioned GMRES until the backward error is certified,
+  recording every attempt in the report's ``recovery`` field.
+
+See ``docs/ROBUSTNESS.md`` for the full taxonomy, rung catalog, and the
+``recovery.*`` observability counters.
+"""
+
+from repro.recovery.health import (
+    FailureDiagnosis,
+    FailureKind,
+    check_factors,
+    check_refinement,
+    check_structure,
+    diagnose_comm_failure,
+)
+from repro.recovery.ladder import (
+    RUNGS,
+    RecoveryReport,
+    RungAttempt,
+    recover_solve,
+)
+
+__all__ = [
+    "FailureDiagnosis",
+    "FailureKind",
+    "check_factors",
+    "check_refinement",
+    "check_structure",
+    "diagnose_comm_failure",
+    "RUNGS",
+    "RecoveryReport",
+    "RungAttempt",
+    "recover_solve",
+]

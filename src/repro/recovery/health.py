@@ -1,0 +1,213 @@
+"""Failure taxonomy and health checks for the solve-recovery ladder.
+
+GESP trades pivoting for speed, so it can fail in ways GEPP cannot; the
+paper's answer is "fix it up later with a few steps of iterative
+refinement" plus the §5 arsenal (extra precision, Woodbury recovery,
+alternative thresholds, a pivoting fallback).  This module gives every
+way a solve can go wrong a *name* and a structured diagnosis, so the
+ladder in :mod:`repro.recovery.ladder` can decide which rung to try next
+and the caller can see exactly what happened instead of a bare berr.
+
+The taxonomy (see ``docs/ROBUSTNESS.md`` for the full catalog):
+
+``structural_singularity``
+    No perfect matching of the nonzero pattern exists (MC21); no pivot
+    order can avoid a zero pivot, so every direct method must reject.
+``numerical_singularity``
+    Factorization or solve produced non-finite values, or the backward
+    error is non-finite — the matrix is singular (or so close the
+    factors overflowed) *numerically* even though the pattern admits a
+    transversal.
+``nonfinite_factors``
+    Inf/NaN entries inside L or U — a factorization-time overflow or a
+    zero pivot that slipped through with tiny-pivot replacement off.
+``excessive_tiny_pivots``
+    The static-pivoting safeguard fired on more than a small fraction of
+    the columns; the factors are a heavy perturbation of A and
+    refinement alone is unlikely to converge.
+``pivot_growth``
+    ``max_j ||U(:,j)||_inf / ||A(:,j)||_inf`` above threshold — the
+    elimination was unstable (the quantity SuperLU monitors as rpg).
+``berr_stagnation``
+    Iterative refinement stopped making progress above the certification
+    target (the paper's factor-of-two stagnation rule tripped).
+``comm_timeout``
+    A simulated distributed phase gave up waiting for a message
+    (:class:`repro.dmem.comm.CommTimeoutError` — typically injected
+    message loss under a :class:`repro.dmem.faults.FaultPlan`).
+``deadlock``
+    The simulated machine stalled with every rank blocked and no timeout
+    armed (:class:`repro.dmem.simulator.DeadlockError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+__all__ = [
+    "FailureKind",
+    "FailureDiagnosis",
+    "check_structure",
+    "check_factors",
+    "check_refinement",
+    "diagnose_comm_failure",
+]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+# defaults for the factor health checks
+DEFAULT_PIVOT_GROWTH_LIMIT = 1.0 / _EPS
+DEFAULT_TINY_PIVOT_FRACTION = 0.10
+
+
+class FailureKind:
+    """String constants naming every diagnosable failure mode."""
+
+    STRUCTURAL_SINGULARITY = "structural_singularity"
+    NUMERICAL_SINGULARITY = "numerical_singularity"
+    NONFINITE_FACTORS = "nonfinite_factors"
+    EXCESSIVE_TINY_PIVOTS = "excessive_tiny_pivots"
+    PIVOT_GROWTH = "pivot_growth"
+    BERR_STAGNATION = "berr_stagnation"
+    COMM_TIMEOUT = "comm_timeout"
+    DEADLOCK = "deadlock"
+
+    ALL = frozenset({
+        STRUCTURAL_SINGULARITY, NUMERICAL_SINGULARITY, NONFINITE_FACTORS,
+        EXCESSIVE_TINY_PIVOTS, PIVOT_GROWTH, BERR_STAGNATION,
+        COMM_TIMEOUT, DEADLOCK,
+    })
+
+
+@dataclass
+class FailureDiagnosis:
+    """One classified failure: what went wrong, in machine-readable form.
+
+    ``kind`` is a :class:`FailureKind` constant, ``detail`` a one-line
+    human-readable description, ``data`` whatever quantitative evidence
+    the check gathered (thresholds, counts, offending values).
+    """
+
+    kind: str
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return f"{self.kind}: {self.detail}"
+
+
+def check_structure(a: CSCMatrix) -> FailureDiagnosis | None:
+    """Reject structurally singular matrices up front (MC21 transversal).
+
+    Cheap (O(nnz) in practice) and definitive: when the pattern has no
+    perfect matching, no rung of the ladder can help, so the ladder
+    fails fast with the one diagnosis that actually explains the problem
+    instead of a cascade of zero-pivot symptoms.
+    """
+    from repro.scaling.matching import max_transversal
+
+    rowof = max_transversal(a)
+    deficiency = int(np.count_nonzero(rowof < 0))
+    if deficiency == 0:
+        return None
+    unmatched = np.flatnonzero(rowof < 0)
+    return FailureDiagnosis(
+        FailureKind.STRUCTURAL_SINGULARITY,
+        f"no perfect matching: {deficiency} of {a.ncols} columns cannot "
+        "be matched to a row (structural rank "
+        f"{a.ncols - deficiency} < {a.ncols})",
+        data={"deficiency": deficiency,
+              "unmatched_columns": unmatched[:16].tolist()})
+
+
+def check_factors(factors, n: int,
+                  pivot_growth: float | None = None,
+                  pivot_growth_limit: float = DEFAULT_PIVOT_GROWTH_LIMIT,
+                  tiny_pivot_fraction: float = DEFAULT_TINY_PIVOT_FRACTION):
+    """Health-check computed factors; returns a list of diagnoses.
+
+    Checks, in order of severity: non-finite entries in L or U (fatal —
+    any solve through them is garbage), tiny-pivot replacements on more
+    than ``tiny_pivot_fraction`` of the columns (the factors are a heavy
+    perturbation of A), and pivot growth above ``pivot_growth_limit``
+    when the caller supplies the measured growth.
+    """
+    out = []
+    bad = 0
+    for tri in (getattr(factors, "l", None), getattr(factors, "u", None)):
+        if tri is not None:
+            bad += int(np.count_nonzero(~np.isfinite(tri.nzval)))
+    if bad:
+        out.append(FailureDiagnosis(
+            FailureKind.NONFINITE_FACTORS,
+            f"{bad} non-finite entries in the triangular factors",
+            data={"nonfinite_entries": bad}))
+    n_tiny = int(getattr(factors, "n_tiny_pivots", 0))
+    if n and n_tiny > tiny_pivot_fraction * n:
+        out.append(FailureDiagnosis(
+            FailureKind.EXCESSIVE_TINY_PIVOTS,
+            f"{n_tiny} of {n} pivots replaced by the static-pivoting "
+            f"safeguard (> {tiny_pivot_fraction:.0%} of columns)",
+            data={"n_tiny_pivots": n_tiny, "n": n,
+                  "fraction": n_tiny / n}))
+    if pivot_growth is not None and np.isfinite(pivot_growth) \
+            and pivot_growth > pivot_growth_limit:
+        out.append(FailureDiagnosis(
+            FailureKind.PIVOT_GROWTH,
+            f"pivot growth {pivot_growth:.3e} exceeds "
+            f"{pivot_growth_limit:.3e}",
+            data={"pivot_growth": pivot_growth,
+                  "limit": pivot_growth_limit}))
+    return out
+
+
+def check_refinement(berr: float, converged: bool,
+                     target: float) -> FailureDiagnosis | None:
+    """Classify a refinement outcome against the certification target."""
+    if not np.isfinite(berr):
+        return FailureDiagnosis(
+            FailureKind.NUMERICAL_SINGULARITY,
+            "backward error is non-finite — the computed solution is not "
+            "the solution of any nearby system",
+            data={"berr": float(berr)})
+    if berr <= target:
+        return None
+    return FailureDiagnosis(
+        FailureKind.BERR_STAGNATION,
+        f"refinement {'stagnated' if not converged else 'stopped'} at "
+        f"berr={berr:.3e} > target {target:.3e}",
+        data={"berr": float(berr), "target": float(target),
+              "converged": bool(converged)})
+
+
+def diagnose_comm_failure(exc: BaseException) -> FailureDiagnosis:
+    """Turn a simulated-communication exception into a diagnosis.
+
+    Handles :class:`repro.dmem.comm.CommTimeoutError` (fault-induced
+    message loss surfacing through the recv timeout machinery) and
+    :class:`repro.dmem.simulator.DeadlockError` (a stall with no timeout
+    armed); anything else is re-raised by the caller.
+    """
+    from repro.dmem.comm import CommTimeoutError
+    from repro.dmem.simulator import DeadlockError
+
+    if isinstance(exc, CommTimeoutError):
+        return FailureDiagnosis(
+            FailureKind.COMM_TIMEOUT,
+            str(exc),
+            data={"rank": exc.rank, "source": exc.source, "tag": exc.tag,
+                  "attempts": exc.attempts, "timeout": exc.timeout,
+                  "where": exc.where, "clock": exc.clock,
+                  "blocked": [(b.rank, b.source, b.tag, b.clock)
+                              for b in (exc.blocked or ())]})
+    if isinstance(exc, DeadlockError):
+        return FailureDiagnosis(
+            FailureKind.DEADLOCK,
+            str(exc),
+            data={"blocked": [(b.rank, b.source, b.tag, b.clock)
+                              for b in exc.blocked]})
+    raise TypeError(f"not a communication failure: {exc!r}")

@@ -135,6 +135,12 @@ def _iterative_refinement(a, solve, b, x0, max_steps, eps,
     history = [berr]
     steps = 0
     converged = berr <= eps
+    if not np.isfinite(berr):
+        # a non-finite backward error (overflowed solve, singular
+        # factors) cannot be refined away — x + solve(r) only compounds
+        # the garbage, so fail fast instead of looping max_steps times
+        return RefinementResult(x=x, berr=berr, steps=0,
+                                berr_history=history, converged=False)
     while berr > eps and steps < max_steps:
         if extra_precision:
             r = _residual_extended(a, x, b)

@@ -7,6 +7,12 @@ require 3 steps, and 8 matrices require more than 3 steps."
 Our analogs are somewhat better scaled than the raw collection matrices,
 so the histogram shifts left (more 1-step cases); the shape constraint we
 assert is the paper's: the overwhelming majority needs <= 3 steps.
+
+Counting convention: the paper's x-axis counts the initial solve's
+convergence check as one step, while ``SolveReport.refine_steps`` counts
+corrections applied after the initial solve.  This table is built from
+``figure3_steps`` (= ``refine_steps + 1``), the paper's convention — see
+``RefinementResult`` in repro/solve/refine.py.
 """
 
 import numpy as np
@@ -20,9 +26,10 @@ from repro.matrices import matrix_by_name
 def bench_fig3_refinement(benchmark, testbed_results):
     hist = {}
     for name, r in testbed_results.items():
-        hist[r["steps"]] = hist.get(r["steps"], 0) + 1
+        hist[r["figure3_steps"]] = hist.get(r["figure3_steps"], 0) + 1
     t = Table("Figure 3 — iterative refinement step histogram",
-              ["steps", "matrices (this repro)", "matrices (paper)"])
+              ["steps (paper counting)", "matrices (this repro)",
+               "matrices (paper)"])
     paper = {1: 5, 2: 31, 3: 9, ">3": 8}
     for k in sorted(hist):
         t.add(k, hist[k], paper.get(k, paper.get(">3", 0) if k > 3 else 0))
@@ -30,7 +37,7 @@ def bench_fig3_refinement(benchmark, testbed_results):
 
     at_most_3 = sum(v for k, v in hist.items() if k <= 3)
     assert at_most_3 >= 45  # paper: 45/53
-    assert max(hist) <= 6   # nothing pathological
+    assert max(hist) <= 7   # nothing pathological
 
     a = matrix_by_name("chem03").build()
     b = a @ np.ones(a.ncols)

@@ -1,0 +1,100 @@
+"""Refactorization fast path: SamePattern reuse vs cold factorization.
+
+The paper's central claim about static pivoting is that it makes the
+expensive analysis (orderings, symbolic factorization, distribution,
+communication schedule) a *per-pattern* cost rather than a per-matrix
+cost.  This benchmark measures that seeded perf trajectory: factor one
+testbed matrix cold, then refactor a sequence of same-pattern perturbed
+matrices through ``GESPSolver.refactor`` and assert the warm path is
+measurably faster (the acceptance floor of 1.3x is deliberately far
+below the observed ~5x, so machine noise cannot flake the suite) while
+``SAME_PATTERN`` stays bit-identical to a cold factorization.
+
+``scripts/bench_trajectory.py`` runs the same trajectory standalone and
+writes the schema-versioned ``BENCH_refactor.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.driver import GESPOptions, GESPSolver
+from repro.driver.factcache import FactorizationCache
+from repro.matrices import matrix_by_name
+from repro.sparse import CSCMatrix
+
+SPEEDUP_FLOOR = 1.3
+
+
+def _perturbed(a, rng, scale=1e-8):
+    """Same pattern, slightly different values (a Newton-step stand-in)."""
+    return CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                     a.nzval * (1.0 + scale * rng.standard_normal(a.nnz)),
+                     check=False)
+
+
+def refactor_trajectory(name="cfd06", sweeps=5, seed=20260806):
+    """Cold factor + ``sweeps`` warm refactorizations; returns
+    ``(a, rows, counters)`` with the trace's aggregated
+    ``factor.reuse_*`` counters — shared by this benchmark and
+    scripts/bench_trajectory.py."""
+    from repro.obs import Tracer, use_tracer
+
+    a = matrix_by_name(name).build()
+    rng = np.random.default_rng(seed)
+    b = a @ np.ones(a.ncols)
+    cache = FactorizationCache()
+    tracer = Tracer(name="refactor-trajectory")
+
+    with use_tracer(tracer):
+        t0 = time.perf_counter()
+        solver = GESPSolver(a, GESPOptions(), cache=cache)
+        rep = solver.solve(b)
+        t_cold = time.perf_counter() - t0
+        rows = [{"iter": 0, "fact": "DOFACT", "seconds": t_cold,
+                 "berr": rep.berr, "steps": rep.refine_steps}]
+        for k in range(1, sweeps + 1):
+            a_k = _perturbed(a, rng)
+            t0 = time.perf_counter()
+            solver.refactor(a_k)
+            rep = solver.solve(b)
+            rows.append({"iter": k, "fact": "SAME_PATTERN_SAME_ROWPERM",
+                         "seconds": time.perf_counter() - t0,
+                         "berr": rep.berr, "steps": rep.refine_steps})
+    return a, rows, tracer.root.all_counters()
+
+
+def bench_refactor(benchmark):
+    # imported lazily: tests/test_bench_smoke.py imports this module from
+    # a pytest run whose ``conftest`` is tests/conftest.py
+    from conftest import save_table
+
+    a, rows, counters = refactor_trajectory()
+    t = Table(f"Refactorization trajectory — cfd06 (n={a.ncols})",
+              ["iter", "fact", "seconds", "berr", "steps"])
+    for r in rows:
+        t.add(r["iter"], r["fact"], r["seconds"], f"{r['berr']:.2e}",
+              r["steps"])
+    save_table("refactor_trajectory", t)
+
+    t_cold = rows[0]["seconds"]
+    t_warm = min(r["seconds"] for r in rows[1:])
+    assert all(r["berr"] <= 1e-12 for r in rows)
+    assert t_cold / t_warm >= SPEEDUP_FLOOR, (t_cold, t_warm)
+    assert counters.get("factor.reuse_hits", 0) == len(rows) - 1
+
+    # SAME_PATTERN must reproduce a cold factorization bit for bit
+    rng = np.random.default_rng(1)
+    a2 = _perturbed(a, rng)
+    warm = GESPSolver(a, GESPOptions(), cache=False).refactor(
+        a2, fact="SAME_PATTERN")
+    cold = GESPSolver(a2, GESPOptions(), cache=False)
+    assert np.array_equal(warm.factors.l.nzval, cold.factors.l.nzval)
+    assert np.array_equal(warm.factors.u.nzval, cold.factors.u.nzval)
+    assert np.array_equal(warm.perm_r, cold.perm_r)
+    assert np.array_equal(warm.perm_c, cold.perm_c)
+
+    solver = GESPSolver(a, GESPOptions(), cache=False)
+    a3 = _perturbed(a, rng)
+    benchmark.pedantic(lambda: solver.refactor(a3), rounds=3, iterations=1)

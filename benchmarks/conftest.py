@@ -92,6 +92,7 @@ def testbed_results():
             "fill": s.symbolic.nnz_lu,
             "berr": rep.berr,
             "steps": rep.refine_steps,
+            "figure3_steps": rep.figure3_steps,
             "err_gesp": float(np.abs(rep.x - 1.0).max()),
             "err_gepp": float(np.abs(x_gepp - 1.0).max()),
             "tiny": s.factors.n_tiny_pivots,

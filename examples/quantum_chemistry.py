@@ -82,6 +82,7 @@ from repro.sparse.ops import spmv
 
 X_true = (rng.standard_normal((n, 4)) + 1j * rng.standard_normal((n, 4)))
 B = np.column_stack([spmv(a, X_true[:, t]) for t in range(4)])
-X, berr, steps = solver.solve_multi(B)
-print(f"\n4-RHS block solve : berr={berr:.2e}, steps={steps}, "
-      f"err={np.abs(X - X_true).max():.2e}")
+res = solver.solve_multi(B)
+print(f"\n4-RHS block solve : berr={res.berr:.2e}, steps={res.steps}, "
+      f"converged={res.converged}, "
+      f"err={np.abs(res.x - X_true).max():.2e}")

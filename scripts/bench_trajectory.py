@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Seeded refactorization perf trajectory -> BENCH_refactor.json.
+
+Runs the same trajectory as ``benchmarks/bench_refactor.py`` (cold
+factorization of one testbed matrix, then K same-pattern warm
+refactorizations through ``GESPSolver.refactor``) and writes the result
+as a schema-versioned JSON record so successive sessions can track the
+fast path's speedup over time:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py
+    PYTHONPATH=src python scripts/bench_trajectory.py \
+        --matrix cfd06 --sweeps 5 --out BENCH_refactor.json
+
+Schema ``bench_refactor/v1``::
+
+    {
+      "schema": "bench_refactor/v1",
+      "matrix": "...", "n": ..., "nnz": ..., "seed": ...,
+      "trajectory": [{"iter", "fact", "seconds", "berr", "steps"}, ...],
+      "cold_seconds": ..., "warm_best_seconds": ..., "speedup": ...,
+      "speedup_floor": 1.3,
+      "reuse": {"hits": ..., "misses": ...}
+    }
+
+The acceptance floor (warm >= 1.3x faster than cold) is asserted here as
+well as in the benchmark, so the JSON never records a regressed run
+without the exit status saying so.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--matrix", default="cfd06",
+                    help="testbed matrix name (default: cfd06)")
+    ap.add_argument("--sweeps", type=int, default=5,
+                    help="warm refactorizations after the cold factor")
+    ap.add_argument("--seed", type=int, default=20260806)
+    ap.add_argument("--out", default=str(ROOT / "BENCH_refactor.json"),
+                    help="output path (default: repo-root "
+                         "BENCH_refactor.json)")
+    args = ap.parse_args(argv)
+
+    from bench_refactor import SPEEDUP_FLOOR, refactor_trajectory
+
+    a, rows, counters = refactor_trajectory(name=args.matrix,
+                                            sweeps=args.sweeps,
+                                            seed=args.seed)
+    cold = rows[0]["seconds"]
+    warm = min(r["seconds"] for r in rows[1:])
+    speedup = cold / warm
+    record = {
+        "schema": "bench_refactor/v1",
+        "matrix": args.matrix,
+        "n": a.ncols,
+        "nnz": a.nnz,
+        "seed": args.seed,
+        "trajectory": rows,
+        "cold_seconds": cold,
+        "warm_best_seconds": warm,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "reuse": {"hits": counters.get("factor.reuse_hits", 0),
+                  "misses": counters.get("factor.reuse_misses", 0)},
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"{args.matrix}: cold {cold:.3f}s, warm best {warm:.3f}s "
+          f"-> {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)")
+    print(f"written: {out}")
+    if speedup < SPEEDUP_FLOOR:
+        print("FAIL: warm refactorization below the speedup floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

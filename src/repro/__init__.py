@@ -59,7 +59,15 @@ from repro.sparse import (
     write_harwell_boeing,
     write_matrix_market,
 )
-from repro.driver import GESPOptions, GESPSolver, SolveReport, gesp_solve
+from repro.driver import (
+    FACTOR_CACHE,
+    FactorizationCache,
+    GESPOptions,
+    GESPSolver,
+    MultiSolveResult,
+    SolveReport,
+    gesp_solve,
+)
 from repro.driver.dist_driver import DistributedGESPSolver
 from repro.factor import gepp_factor, gesp_factor, supernodal_factor
 from repro.obs import RunRecord, Tracer, use_tracer
@@ -78,7 +86,10 @@ __all__ = [
     "write_matrix_market",
     "GESPOptions",
     "GESPSolver",
+    "MultiSolveResult",
     "SolveReport",
+    "FactorizationCache",
+    "FACTOR_CACHE",
     "gesp_solve",
     "recover_solve",
     "DistributedGESPSolver",

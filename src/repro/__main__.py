@@ -61,7 +61,10 @@ def cmd_solve(args):
         scale_diagonal=not args.no_scaling,
         replace_tiny_pivots=not args.no_pivot_replacement,
         extra_precision_residual=args.extra_precision,
+        fact=args.fact,
     )
+    if args.refactor_sweep:
+        return _refactor_sweep(a, b, opts, args)
     fault_plan = None
     if args.fault_plan:
         from repro.dmem.faults import FaultPlan
@@ -120,6 +123,76 @@ def cmd_solve(args):
         np.savetxt(args.output, report.x)
         print(f"solution written : {args.output}")
     return 0 if report.converged or not args.recover else 1
+
+
+def _refactor_sweep(a, b, opts, args):
+    """``solve --refactor-sweep K``: factor cold once, then refactor K
+    times with same-pattern perturbed values through the SamePattern
+    fast path, printing per-iteration wall time, backward error, and the
+    cumulative reuse counters (docs/REFACTORIZATION.md)."""
+    import time
+
+    from repro.driver import GESPSolver
+    from repro.sparse import CSCMatrix
+
+    if args.nprocs > 1:
+        from repro.driver.dist_driver import DistributedGESPSolver
+
+    fact = args.fact if args.fact != "DOFACT" else "SAME_PATTERN_SAME_ROWPERM"
+    rng = np.random.default_rng(20260806)
+    print(f"matrix           : {args.matrix}  (n={a.ncols}, nnz={a.nnz})")
+    print(f"refactor sweep   : {args.refactor_sweep} iterations, "
+          f"fact={fact}")
+    print(f"{'iter':>4} {'mode':<26} {'factor(s)':>10} {'berr':>10} steps")
+
+    def run(tag, f):
+        t0 = time.perf_counter()
+        rep = f()
+        dt = time.perf_counter() - t0
+        print(f"{tag:>4} {tag_mode:<26} {dt:>10.4f} {rep.berr:>10.2e} "
+              f"{rep.refine_steps}")
+        return dt
+
+    tag_mode = "DOFACT (cold)"
+    if args.nprocs > 1:
+        opts.symbolic_method = "symmetrized"
+        solver = None
+
+        def cold():
+            nonlocal solver
+            solver = DistributedGESPSolver(a, nprocs=args.nprocs,
+                                           options=opts)
+            return solver.solve(b)
+    else:
+        solver = None
+
+        def cold():
+            nonlocal solver
+            solver = GESPSolver(a, opts)
+            return solver.solve(b)
+
+    t_cold = run(0, cold)
+    t_warm = []
+    for k in range(1, args.refactor_sweep + 1):
+        perturbed = CSCMatrix(
+            a.nrows, a.ncols, a.colptr, a.rowind,
+            a.nzval * (1.0 + 1e-8 * rng.standard_normal(a.nnz)),
+            check=False)
+        tag_mode = fact
+        t_warm.append(run(
+            k, lambda: solver.refactor(perturbed, fact=fact).solve(b)))
+    if t_warm:
+        speedup = t_cold / max(min(t_warm), 1e-12)
+        print(f"cold factor+solve: {t_cold:.4f}s   warm best: "
+              f"{min(t_warm):.4f}s   speedup: {speedup:.2f}x")
+    from repro.obs import get_tracer
+
+    tr = get_tracer()
+    if tr.enabled:
+        counters = tr.root.all_counters()
+        print(f"reuse hits       : {counters.get('factor.reuse_hits', 0)}")
+        print(f"reuse misses     : {counters.get('factor.reuse_misses', 0)}")
+    return 0
 
 
 def cmd_analyze(args):
@@ -255,6 +328,17 @@ def main(argv=None):
                    help="JSON fault plan injected into the simulated "
                         "machine (--nprocs > 1): message drop/duplication/"
                         "delay, rank slowdown, compute jitter")
+    p.add_argument("--fact", default="DOFACT",
+                   choices=["DOFACT", "SAME_PATTERN",
+                            "SAME_PATTERN_SAME_ROWPERM"],
+                   help="pattern-reuse mode: consult the factorization "
+                        "cache for a same-pattern plan instead of a cold "
+                        "analysis (see docs/REFACTORIZATION.md)")
+    p.add_argument("--refactor-sweep", type=int, default=0, metavar="K",
+                   help="factor cold once, then refactor K times with "
+                        "same-pattern perturbed values through the "
+                        "SamePattern fast path, reporting per-iteration "
+                        "times and reuse counters")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("analyze", help="matrix + symbolic statistics")

@@ -43,7 +43,11 @@ from repro.dmem.simulator import (
     SimulationResult,
     simulate,
 )
-from repro.dmem.distribute import DistributedBlocks, distribute_matrix
+from repro.dmem.distribute import (
+    DistributedBlocks,
+    distribute_matrix,
+    refill_values,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -66,4 +70,5 @@ __all__ = [
     "simulate",
     "DistributedBlocks",
     "distribute_matrix",
+    "refill_values",
 ]

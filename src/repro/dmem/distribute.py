@@ -31,7 +31,7 @@ from repro.sparse.csc import CSCMatrix
 from repro.symbolic.fill import SymbolicLU
 from repro.symbolic.supernode import SupernodePartition
 
-__all__ = ["DistributedBlocks", "distribute_matrix"]
+__all__ = ["DistributedBlocks", "distribute_matrix", "refill_values"]
 
 
 @dataclass
@@ -128,17 +128,24 @@ class DistributedBlocks:
 
 def distribute_matrix(a: CSCMatrix, sym: SymbolicLU,
                       part: SupernodePartition,
-                      grid: ProcessGrid) -> DistributedBlocks:
+                      grid: ProcessGrid, *,
+                      check_pattern: bool = True) -> DistributedBlocks:
     """Scatter A's values into the 2-D block-cyclic supernodal storage.
 
     The value arrays are allocated over the *static* fill pattern (zeros
     where A has no entry), so the subsequent factorization never
     reallocates — the property static pivoting buys (paper §3.1).
+
+    ``check_pattern=False`` skips the fingerprint guard for callers that
+    allocate the layout from a structure-only placeholder and fill the
+    values elsewhere (``repro.dmem.redistribute``).
     """
     if not sym.symmetrized:
         raise ValueError("the distributed layout requires the symmetrized pattern")
     if part.n != a.ncols:
         raise ValueError("partition does not match the matrix")
+    if check_pattern:
+        _check_pattern(a, sym, where="distribute_matrix")
     if np.iscomplexobj(a.nzval):
         raise TypeError("the distributed path is real-only (float64); "
                         "complex systems are supported by the serial "
@@ -179,7 +186,36 @@ def distribute_matrix(a: CSCMatrix, sym: SymbolicLU,
         for j_blk, cols in u_cols_by_block[k].items():
             ublk[grid.owner(k, j_blk)][(k, j_blk)] = np.zeros((w, cols.size))
 
-    # scatter A — same traversal as the serial supernodal kernel
+    dist = DistributedBlocks(
+        grid=grid, part=part, supno=supno, s_rows=s_rows,
+        l_rows_by_block=l_rows_by_block, u_cols_by_block=u_cols_by_block,
+        diag=diag, lblk=lblk, ublk=ublk)
+    _scatter_values(dist, a)
+    return dist
+
+
+def _check_pattern(a: CSCMatrix, sym: SymbolicLU, where: str):
+    """Guard a structure-reuse path: A must match sym's pattern."""
+    if sym.pattern_fingerprint is None:
+        return
+    from repro.sparse.ops import PatternMismatchError, pattern_fingerprint
+
+    got = pattern_fingerprint(a)
+    if got != sym.pattern_fingerprint:
+        raise PatternMismatchError(
+            expected=sym.pattern_fingerprint, got=got, where=where,
+            n=a.ncols, nnz=a.nnz)
+
+
+def _scatter_values(dist: DistributedBlocks, a: CSCMatrix):
+    """Scatter A's values into the (already allocated) block storage —
+    the same traversal as the serial supernodal kernel."""
+    grid = dist.grid
+    supno = dist.supno
+    xsup = dist.part.xsup
+    diag, lblk, ublk = dist.diag, dist.lblk, dist.ublk
+    l_rows_by_block = dist.l_rows_by_block
+    u_cols_by_block = dist.u_cols_by_block
     for j in range(a.ncols):
         kj = int(supno[j])
         jloc = j - int(xsup[kj])
@@ -199,7 +235,30 @@ def distribute_matrix(a: CSCMatrix, sym: SymbolicLU,
                 pos = int(np.searchsorted(cols, j))
                 ublk[grid.owner(ki, kj)][(ki, kj)][i - xsup[ki], pos] = v
 
-    return DistributedBlocks(
-        grid=grid, part=part, supno=supno, s_rows=s_rows,
-        l_rows_by_block=l_rows_by_block, u_cols_by_block=u_cols_by_block,
-        diag=diag, lblk=lblk, ublk=ublk)
+
+def refill_values(dist: DistributedBlocks, a: CSCMatrix,
+                  sym: SymbolicLU | None = None) -> DistributedBlocks:
+    """Re-scatter new values into an existing distribution — the
+    ``SamePattern`` fast path of the distributed pipeline.
+
+    Reuses every structural artifact of :func:`distribute_matrix` (block
+    row sets, ownership map, allocated value arrays): the arrays are
+    zeroed in place and A's values scattered again, so a refactorization
+    never re-derives or reallocates the layout.  When ``sym`` carries a
+    pattern fingerprint the new matrix is checked against it first
+    (:class:`~repro.sparse.ops.PatternMismatchError` on mismatch).
+    """
+    if dist.part.n != a.ncols:
+        raise ValueError("distribution does not match the matrix")
+    if np.iscomplexobj(a.nzval):
+        raise TypeError("the distributed path is real-only (float64)")
+    if sym is not None:
+        _check_pattern(a, sym, where="refill_values")
+    for store in (dist.diag, dist.lblk, dist.ublk):
+        for rank_blocks in store:
+            for v in rank_blocks.values():
+                v[...] = 0.0
+    _scatter_values(dist, a)
+    dist.n_tiny_pivots = 0
+    dist.tiny_pivot_threshold = 0.0
+    return dist

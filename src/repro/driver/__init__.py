@@ -12,7 +12,28 @@ off any of these options" (some matrices need Dr/Dc off, some need the
 tiny-pivot replacement off).
 """
 
+from repro.driver.factcache import (
+    FACTOR_CACHE,
+    FactorizationCache,
+    PatternPlan,
+    get_factorization_cache,
+)
 from repro.driver.options import GESPOptions
-from repro.driver.gesp_driver import GESPSolver, SolveReport, gesp_solve
+from repro.driver.gesp_driver import (
+    GESPSolver,
+    MultiSolveResult,
+    SolveReport,
+    gesp_solve,
+)
 
-__all__ = ["GESPOptions", "GESPSolver", "SolveReport", "gesp_solve"]
+__all__ = [
+    "GESPOptions",
+    "GESPSolver",
+    "MultiSolveResult",
+    "SolveReport",
+    "gesp_solve",
+    "FactorizationCache",
+    "PatternPlan",
+    "FACTOR_CACHE",
+    "get_factorization_cache",
+]

@@ -23,20 +23,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dmem.distribute import DistributedBlocks, distribute_matrix
+from repro.dmem.distribute import (
+    DistributedBlocks,
+    distribute_matrix,
+    refill_values,
+)
 from repro.dmem.grid import ProcessGrid, best_grid
 from repro.dmem.machine import MachineModel
 from repro.driver.options import GESPOptions
-from repro.obs import Tracer, get_tracer, use_tracer
+from repro.obs import Tracer, add, annotate, get_tracer, use_tracer
 from repro.ordering.colamd import column_ordering
 from repro.ordering.etree import etree_symmetric, postorder
-from repro.pdgstrf import FactorizationRun, pdgstrf
+from repro.pdgstrf import FactorizationRun, build_schedule, pdgstrf
 from repro.pdgstrs import SolveRun, pdgstrs
 from repro.scaling.equilibrate import equilibrate
 from repro.scaling.mc64 import mc64
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import (
+    PatternMismatchError,
     norm1,
+    pattern_fingerprint,
     pattern_union_transpose,
     permute_rows,
     permute_symmetric,
@@ -75,6 +81,15 @@ class DistributedGESPSolver:
         Supernode amalgamation threshold (0 disables).
     pipeline, edag_prune:
         Factorization variants (paper §3.2 ablations).
+    cache:
+        The :class:`~repro.driver.factcache.FactorizationCache` consulted
+        when ``options.fact`` requests pattern reuse and seeded after
+        every analysis.  Default (None): the process-wide
+        :data:`~repro.driver.factcache.FACTOR_CACHE`; pass ``False`` to
+        disable.  A distributed plan additionally carries the supernode
+        partition, block DAG, and the EDAG-pruned communication schedule,
+        so a warm start skips the symbolic phase *and* the schedule
+        derivation (docs/REFACTORIZATION.md).
     fault_plan:
         Optional :class:`repro.dmem.faults.FaultPlan` injected into every
         simulated phase (factorization and both triangular solves).  When
@@ -106,6 +121,9 @@ class DistributedGESPSolver:
     recv_timeout: float | None = None
     recv_retries: int = 2
     tracer: Tracer | None = None
+    cache: object = None
+
+    _REUSE_FACTS = ("SAME_PATTERN", "SAME_PATTERN_SAME_ROWPERM")
 
     def __post_init__(self):
         if self.a.nrows != self.a.ncols:
@@ -113,86 +131,266 @@ class DistributedGESPSolver:
         if self.grid is None:
             self.grid = best_grid(self.nprocs)
         self.options.validate()
+        if self.options.fact == "FACTORED":
+            raise ValueError(
+                "fact='FACTORED' asserts the existing factors are current; "
+                "it is only valid on refactor(), not on construction")
         if self.tracer is None:
             ambient = get_tracer()
             self.tracer = ambient if ambient.enabled else Tracer(name="gesp")
+        if self.cache is None:
+            from repro.driver.factcache import FACTOR_CACHE
+
+            self._cache = FACTOR_CACHE
+        elif self.cache is False:
+            self._cache = None
+        else:
+            self._cache = self.cache
+        self._fingerprint = pattern_fingerprint(self.a)
+        self._schedule = None
+        fact = self.options.fact
+        plan = None
         with use_tracer(self.tracer):
-            self._preprocess()
-            self._analyze()
+            if fact in self._REUSE_FACTS and self._cache is not None:
+                plan = self._cache.lookup(self._plan_key())
+                if plan is None:
+                    add("factor.reuse_misses", 1)
+            self._pipeline_from(self.a, plan,
+                                fact if plan is not None else "DOFACT")
+            if self._cache is not None:
+                self._publish_plan()
         self.factor_run: FactorizationRun | None = None
 
     # ------------------------------------------------------------------ #
 
-    def _preprocess(self):
-        """GESP steps (1)-(2) plus etree postordering."""
-        opts = self.options
-        a = self.a
+    def _run_equil(self, a):
         n = a.ncols
-        dr, dc = np.ones(n), np.ones(n)
-        with self.tracer.span("equil"):
-            if opts.equilibrate:
-                eq = equilibrate(a)
-                dr, dc = eq.dr.copy(), eq.dc.copy()
-                a = eq.apply(a)
-        with self.tracer.span("rowperm"):
-            if opts.row_perm != "none":
-                job = {"mc64_product": "product",
-                       "mc64_bottleneck": "bottleneck",
-                       "mc64_cardinality": "cardinality"}[opts.row_perm]
-                res = mc64(a, job=job,
-                           scale=(opts.scale_diagonal and job == "product"))
-                if opts.scale_diagonal and job == "product":
-                    dr *= res.dr
-                    dc *= res.dc
-                    a = scale_cols(scale_rows(a, res.dr), res.dc)
-                perm_r = res.perm_r
-                a = permute_rows(a, perm_r)
+        if self.options.equilibrate:
+            eq = equilibrate(a)
+            return eq.apply(a), eq.dr.copy(), eq.dc.copy()
+        return a, np.ones(n), np.ones(n)
+
+    def _run_rowperm(self, a, dr, dc):
+        opts = self.options
+        n = a.ncols
+        if opts.row_perm == "none":
+            return a, dr, dc, np.arange(n, dtype=np.int64)
+        job = {"mc64_product": "product",
+               "mc64_bottleneck": "bottleneck",
+               "mc64_cardinality": "cardinality"}[opts.row_perm]
+        res = mc64(a, job=job,
+                   scale=(opts.scale_diagonal and job == "product"))
+        if opts.scale_diagonal and job == "product":
+            dr = dr * res.dr
+            dc = dc * res.dc
+            a = scale_cols(scale_rows(a, res.dr), res.dc)
+        return permute_rows(a, res.perm_r), dr, dc, res.perm_r
+
+    def _run_colperm(self, a):
+        opts = self.options
+        n = a.ncols
+        if opts.col_perm != "natural":
+            perm_c = column_ordering(a, method=opts.col_perm)
+            a = permute_symmetric(a, perm_c)
+        else:
+            perm_c = np.arange(n, dtype=np.int64)
+        # postorder the etree of the symmetrized pattern: makes
+        # supernode chains contiguous without changing fill (an
+        # equivalent reordering)
+        parent = etree_symmetric(pattern_union_transpose(a))
+        post = postorder(parent)
+        a = permute_symmetric(a, post)
+        return a, post[perm_c]
+
+    def _pipeline_from(self, a, plan, fact):
+        """GESP steps (1)-(2) + symbolic analysis, reusing ``plan`` per
+        ``fact`` (the serial driver's `_factor_from`, minus numerics —
+        the distributed numeric phase is :meth:`factorize`)."""
+        if fact == "SAME_PATTERN_SAME_ROWPERM":
+            with self.tracer.span("equil"):
+                annotate(reused=True)
+                dr, dc = plan.dr, plan.dc
+                at = scale_cols(scale_rows(a, dr), dc)
+            with self.tracer.span("rowperm"):
+                annotate(reused=True)
+                perm_r = plan.perm_r
+                at = permute_rows(at, perm_r)
+            with self.tracer.span("colperm"):
+                annotate(reused=True)
+                perm_c = plan.perm_c  # already composed with the postorder
+                at = permute_symmetric(at, perm_c)
+            reuse_structures = True
+        elif fact == "SAME_PATTERN":
+            with self.tracer.span("equil"):
+                at, dr, dc = self._run_equil(a)
+            with self.tracer.span("rowperm"):
+                at, dr, dc, perm_r = self._run_rowperm(at, dr, dc)
+            if np.array_equal(perm_r, plan.perm_r):
+                with self.tracer.span("colperm"):
+                    annotate(reused=True)
+                    perm_c = plan.perm_c
+                    at = permute_symmetric(at, perm_c)
+                reuse_structures = True
             else:
-                perm_r = np.arange(n, dtype=np.int64)
-        with self.tracer.span("colperm"):
-            if opts.col_perm != "natural":
-                perm_c = column_ordering(a, method=opts.col_perm)
-                a = permute_symmetric(a, perm_c)
-            else:
-                perm_c = np.arange(n, dtype=np.int64)
-            # postorder the etree of the symmetrized pattern: makes
-            # supernode chains contiguous without changing fill (an
-            # equivalent reordering)
-            parent = etree_symmetric(pattern_union_transpose(a))
-            post = postorder(parent)
-            a = permute_symmetric(a, post)
-            perm_c = post[perm_c]
-        self.a_factored = a
+                add("factor.reuse_misses", 1)
+                annotate(reuse_downgraded="row_perm_changed")
+                with self.tracer.span("colperm"):
+                    at, perm_c = self._run_colperm(at)
+                reuse_structures = False
+        else:  # DOFACT
+            with self.tracer.span("equil"):
+                at, dr, dc = self._run_equil(a)
+            with self.tracer.span("rowperm"):
+                at, dr, dc, perm_r = self._run_rowperm(at, dr, dc)
+            with self.tracer.span("colperm"):
+                at, perm_c = self._run_colperm(at)
+            reuse_structures = False
+
+        self.a_factored = at
         self.perm_r = perm_r
         self.perm_c = perm_c
         self.dr = dr
         self.dc = dc
-        self.anorm = norm1(a)
+        self.anorm = norm1(at)
 
-    def _analyze(self):
-        """Symbolic factorization, partition, DAG, distribution."""
         with self.tracer.span("symbolic"):
-            self.symbolic = symbolic_lu_symmetrized(self.a_factored)
-            part = find_supernodes(self.symbolic)
-            if self.relax_size > 1:
-                part = relax_supernodes(self.symbolic, part,
-                                        relax_size=self.relax_size)
-            if self.dense_tail_threshold > 0.0:
-                from repro.symbolic.supernode import merge_dense_tail
-
-                part = merge_dense_tail(
-                    self.symbolic, part,
-                    density_threshold=self.dense_tail_threshold)
-            self.part = split_supernodes(part, max_size=self.max_block_size)
-            self.dag = build_block_dag(self.symbolic, self.part)
+            if reuse_structures:
+                annotate(reused=True)
+                self.symbolic = plan.symbolic
+                self.part = plan.part
+                self.dag = plan.dag
+                self._schedule = plan.schedule
+                add("factor.reuse_hits", 1)
+            else:
+                self._analyze_structures()
+                self._schedule = None
             self.dist: DistributedBlocks = distribute_matrix(
                 self.a_factored, self.symbolic, self.part, self.grid)
+
+    def _analyze_structures(self):
+        """Symbolic factorization, supernode partition, block DAG."""
+        self.symbolic = symbolic_lu_symmetrized(self.a_factored)
+        part = find_supernodes(self.symbolic)
+        if self.relax_size > 1:
+            part = relax_supernodes(self.symbolic, part,
+                                    relax_size=self.relax_size)
+        if self.dense_tail_threshold > 0.0:
+            from repro.symbolic.supernode import merge_dense_tail
+
+            part = merge_dense_tail(
+                self.symbolic, part,
+                density_threshold=self.dense_tail_threshold)
+        self.part = split_supernodes(part, max_size=self.max_block_size)
+        self.dag = build_block_dag(self.symbolic, self.part)
+
+    # ------------------------------------------------------------------ #
+    # cache plumbing
+    # ------------------------------------------------------------------ #
+
+    def _plan_key(self):
+        from repro.driver.factcache import dist_plan_key
+
+        return dist_plan_key(
+            self._fingerprint, self.options, self.grid,
+            self.max_block_size, self.relax_size,
+            self.dense_tail_threshold, self.edag_prune)
+
+    def _instance_plan(self):
+        from repro.driver.factcache import PatternPlan
+
+        return PatternPlan(
+            fingerprint=self._fingerprint, key=self._plan_key(),
+            perm_r=self.perm_r, perm_c=self.perm_c, dr=self.dr, dc=self.dc,
+            symbolic=self.symbolic, part=self.part, dag=self.dag,
+            schedule=self._schedule)
+
+    def _publish_plan(self):
+        self._cache.store(self._instance_plan())
+
+    # ------------------------------------------------------------------ #
+
+    def refactor(self, a_new: CSCMatrix, fact: str | None = None):
+        """Refactor for new values on the same sparsity pattern.
+
+        The distributed SamePattern fast path: the block-cyclic layout is
+        *refilled in place* (:func:`repro.dmem.distribute.refill_values`
+        — no reallocation), the symbolic structures and the EDAG-pruned
+        communication schedule are reused, and only the simulated numeric
+        factorization re-runs on the next :meth:`factorize` /
+        :meth:`solve`.  Modes as in
+        :meth:`repro.driver.gesp_driver.GESPSolver.refactor`; raises
+        :class:`~repro.sparse.ops.PatternMismatchError` when ``a_new``'s
+        pattern differs (reuse modes).  Returns ``self``.
+        """
+        if a_new.nrows != a_new.ncols:
+            raise ValueError("DistributedGESPSolver requires a square matrix")
+        if a_new.ncols != self.a.ncols:
+            raise ValueError("refactor requires a matrix of the same order")
+        if fact is None:
+            fact = (self.options.fact
+                    if self.options.fact in self._REUSE_FACTS
+                    else "SAME_PATTERN_SAME_ROWPERM")
+        if fact not in ("DOFACT", "FACTORED") + self._REUSE_FACTS:
+            raise ValueError(f"unknown fact {fact!r}")
+        fp = pattern_fingerprint(a_new)
+        if (fact in self._REUSE_FACTS + ("FACTORED",)
+                and fp != self._fingerprint):
+            raise PatternMismatchError(
+                expected=self._fingerprint, got=fp,
+                where="DistributedGESPSolver.refactor",
+                n=a_new.ncols, nnz=a_new.nnz)
+        with use_tracer(self.tracer), self.tracer.span("refactor", fact=fact):
+            if fact == "FACTORED":
+                annotate(kept_factors=True)
+                add("factor.reuse_hits", 1)
+                self.a = a_new
+                return self
+            if fact == "DOFACT":
+                self._fingerprint = fp
+                self._pipeline_from(a_new, None, "DOFACT")
+            elif fact == "SAME_PATTERN_SAME_ROWPERM":
+                # fastest path: every transform and structure reused, the
+                # existing block storage refilled in place
+                with self.tracer.span("equil"):
+                    annotate(reused=True)
+                    at = scale_cols(scale_rows(a_new, self.dr), self.dc)
+                with self.tracer.span("rowperm"):
+                    annotate(reused=True)
+                    at = permute_rows(at, self.perm_r)
+                with self.tracer.span("colperm"):
+                    annotate(reused=True)
+                    at = permute_symmetric(at, self.perm_c)
+                with self.tracer.span("symbolic"):
+                    annotate(reused=True)
+                self.a_factored = at
+                self.anorm = norm1(at)
+                refill_values(self.dist, at, self.symbolic)
+                add("factor.reuse_hits", 1)
+            else:  # SAME_PATTERN
+                self._pipeline_from(a_new, self._instance_plan(), fact)
+        self.a = a_new
+        self.factor_run = None
+        if self._cache is not None:
+            self._publish_plan()
+        return self
 
     # ------------------------------------------------------------------ #
 
     def factorize(self) -> FactorizationRun:
-        """Run the simulated distributed factorization (paper Table 3)."""
+        """Run the simulated distributed factorization (paper Table 3).
+
+        The communication schedule is derived once per sparsity pattern
+        and reused across refactorizations (it depends only on the block
+        structure, the DAG, and ``edag_prune``).
+        """
         with use_tracer(self.tracer), self.tracer.span("factor"):
+            if self._schedule is None:
+                self._schedule = build_schedule(self.dist, self.dag,
+                                                self.edag_prune)
+                if self._cache is not None:
+                    self._publish_plan()
+            else:
+                annotate(schedule_reused=True)
             self.factor_run = pdgstrf(
                 self.dist, self.dag, anorm=self.anorm, machine=self.machine,
                 pipeline=self.pipeline, edag_prune=self.edag_prune,
@@ -200,7 +398,8 @@ class DistributedGESPSolver:
                 tiny_pivot_scale=self.options.tiny_pivot_scale,
                 fault_plan=self.fault_plan,
                 recv_timeout=self.recv_timeout,
-                recv_retries=self.recv_retries)
+                recv_retries=self.recv_retries,
+                schedule=self._schedule)
         return self.factor_run
 
     def solve_distributed(self, b) -> SolveRun:
@@ -291,9 +490,12 @@ class DistributedGESPSolver:
                 from repro.solve.refine import componentwise_backward_error
 
                 x = solve_once(b)
+                berr = componentwise_backward_error(self.a, x, b)
+                # same promise as the refined path: converged means the
+                # backward error actually met the target
                 return SolveReport(
-                    x=x, berr=componentwise_backward_error(self.a, x, b),
-                    refine_steps=0)
+                    x=x, berr=berr, refine_steps=0, berr_history=[berr],
+                    converged=bool(berr <= opts.refine_eps))
             res = iterative_refinement(
                 self.a, solve_once, b, max_steps=opts.refine_max_steps,
                 eps=opts.refine_eps, stagnation_factor=opts.refine_stagnation,

@@ -1,0 +1,184 @@
+"""The factorization cache: pattern-keyed reuse plans.
+
+The whole point of GESP (paper §1, §3) is that static pivoting makes
+every structure — row/column permutations, fill pattern, supernode
+partition, block-cyclic layout, communication schedule — computable
+*once* and reusable across factorizations of matrices with the same
+sparsity pattern.  This module is where that reuse lives: a
+:class:`PatternPlan` captures everything one pipeline run derived, a
+module-level :class:`FactorizationCache` keys plans on the sparsity
+pattern fingerprint (plus the option fields that shape the plan), and
+the drivers consult it when ``GESPOptions.fact`` asks for
+``SAME_PATTERN`` / ``SAME_PATTERN_SAME_ROWPERM`` reuse — the direct
+descendant of SuperLU_DIST's ``Fact`` option.
+
+Semantics (see docs/REFACTORIZATION.md for the full contract):
+
+- ``SAME_PATTERN`` recomputes everything value-dependent (equilibration,
+  MC64 matching and scalings) and reuses only structures a cold run
+  would reproduce identically, so its factors are **bit-identical** to a
+  cold factorization; the recomputed row permutation is compared against
+  the plan's before any structure is trusted.
+- ``SAME_PATTERN_SAME_ROWPERM`` additionally reuses the row permutation
+  and the Dr/Dc scalings (skipping equilibration and MC64 entirely);
+  fastest, with possibly stale scalings that refinement absorbs.
+- Structure mismatches raise
+  :class:`~repro.sparse.ops.PatternMismatchError` — never garbage
+  factors.
+
+The cache is a bounded LRU and thread-safe; the simulator and benchmark
+harness share it process-wide through :data:`FACTOR_CACHE`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import PatternMismatchError, pattern_fingerprint
+from repro.symbolic.fill import SymbolicLU
+
+__all__ = [
+    "PatternPlan",
+    "FactorizationCache",
+    "CacheStats",
+    "FACTOR_CACHE",
+    "get_factorization_cache",
+    "serial_plan_key",
+    "dist_plan_key",
+]
+
+
+@dataclass
+class PatternPlan:
+    """One pattern's reusable factorization plan.
+
+    Structural fields (``perm_c``, ``symbolic``, ``part``, ``dag``,
+    ``schedule``) are valid for *any* matrix with this fingerprint;
+    ``perm_r``/``dr``/``dc`` were computed from the values of the run
+    that created the plan and are only reused under
+    ``SAME_PATTERN_SAME_ROWPERM`` (or verified against a recomputation
+    under ``SAME_PATTERN``).
+    """
+
+    fingerprint: str
+    key: tuple
+    perm_r: np.ndarray
+    perm_c: np.ndarray
+    dr: np.ndarray
+    dc: np.ndarray
+    symbolic: SymbolicLU
+    # serial extras
+    sym_blockpivot: SymbolicLU | None = None
+    # distributed extras (present on "dist" plans only)
+    part: object = None
+    dag: object = None
+    schedule: dict | None = None
+
+    def check(self, a: CSCMatrix, where: str = "PatternPlan"):
+        """Raise :class:`PatternMismatchError` unless A matches."""
+        got = pattern_fingerprint(a)
+        if got != self.fingerprint:
+            raise PatternMismatchError(expected=self.fingerprint, got=got,
+                                       where=where, n=a.ncols, nnz=a.nnz)
+
+
+class CacheStats(NamedTuple):
+    """Snapshot of one cache's accounting."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class FactorizationCache:
+    """Bounded, thread-safe LRU of :class:`PatternPlan` by plan key.
+
+    The key already contains the pattern fingerprint plus every option
+    field that shapes the plan (ordering choices, grid shape, block
+    sizes), so a lookup hit is always structurally valid — value-level
+    validity is the fact-mode's contract, not the cache's.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: tuple) -> PatternPlan | None:
+        """The plan stored under ``key``, or None (counted as a miss)."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self._hits += 1
+            return plan
+
+    def store(self, plan: PatternPlan) -> PatternPlan:
+        """Insert (or refresh) a plan; evicts the LRU entry when full."""
+        with self._lock:
+            self._plans[plan.key] = plan
+            self._plans.move_to_end(plan.key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+            return plan
+
+    def clear(self):
+        with self._lock:
+            self._plans.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              size=len(self._plans), maxsize=self.maxsize)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._plans
+
+
+#: The process-wide cache every driver consults by default.  Tests that
+#: need isolation construct a private :class:`FactorizationCache` and
+#: pass it to the solver, or call ``FACTOR_CACHE.clear()``.
+FACTOR_CACHE = FactorizationCache()
+
+
+def get_factorization_cache() -> FactorizationCache:
+    """The module-level cache (one per process)."""
+    return FACTOR_CACHE
+
+
+def serial_plan_key(fingerprint: str, opts) -> tuple:
+    """Cache key for the serial :class:`~repro.driver.GESPSolver` —
+    the fingerprint plus every option that shapes the plan."""
+    return ("serial", fingerprint, opts.equilibrate, opts.row_perm,
+            opts.scale_diagonal, opts.col_perm, opts.symbolic_method)
+
+
+def dist_plan_key(fingerprint: str, opts, grid, max_block_size: int,
+                  relax_size: int, dense_tail_threshold: float,
+                  edag_prune: bool) -> tuple:
+    """Cache key for the distributed driver: the serial fields plus
+    everything that shapes the partition, layout, and schedule."""
+    return ("dist", fingerprint, opts.equilibrate, opts.row_perm,
+            opts.scale_diagonal, opts.col_perm,
+            grid.nprow, grid.npcol, int(max_block_size), int(relax_size),
+            float(dense_tail_threshold), bool(edag_prune))

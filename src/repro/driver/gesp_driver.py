@@ -16,18 +16,26 @@ with iterative refinement wrapped around the whole thing on the
 ``solve``/``refine`` per solve), so Figure 6's cost breakdown can be
 regenerated from a trace; the legacy ``timings`` dict is kept as a thin
 view over those spans.
+
+Pattern reuse (``GESPOptions.fact``, :meth:`GESPSolver.refactor`): when a
+sequence of matrices shares one sparsity pattern — Newton steps,
+time-stepping, parameter sweeps — the structures GESP derives (column
+ordering, symbolic factorization) are computed once and reused through
+the :mod:`repro.driver.factcache` cache; only the value-dependent work
+re-runs.  See docs/REFACTORIZATION.md.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.driver.options import GESPOptions
 from repro.factor.gesp import GESPFactors, gesp_factor
-from repro.obs import Tracer, get_tracer, use_tracer
+from repro.obs import Tracer, add, annotate, get_tracer, use_tracer
 from repro.scaling.equilibrate import equilibrate
 from repro.scaling.mc64 import mc64
 from repro.solve.errbound import forward_error_bound
@@ -40,10 +48,19 @@ from repro.solve.triangular import (
     solve_upper_t_csc,
 )
 from repro.sparse.csc import CSCMatrix
-from repro.sparse.ops import permute_rows, permute_symmetric, scale_cols, scale_rows
+from repro.sparse.ops import (
+    PatternMismatchError,
+    pattern_fingerprint,
+    permute_rows,
+    permute_symmetric,
+    scale_cols,
+    scale_rows,
+)
 from repro.symbolic.fill import symbolic_lu
 
-__all__ = ["GESPSolver", "SolveReport", "gesp_solve"]
+__all__ = ["GESPSolver", "SolveReport", "MultiSolveResult", "gesp_solve"]
+
+_REUSE_FACTS = ("SAME_PATTERN", "SAME_PATTERN_SAME_ROWPERM")
 
 
 @dataclass
@@ -66,6 +83,26 @@ class SolveReport:
     failure: object | None = None
     recovery: object | None = None
 
+    @property
+    def figure3_steps(self):
+        """Refinement steps in the paper's Figure-3 counting: the initial
+        solve's convergence check is step 1 (``refine_steps + 1``)."""
+        return self.refine_steps + 1
+
+
+class MultiSolveResult(NamedTuple):
+    """Outcome of :meth:`GESPSolver.solve_multi`.
+
+    ``converged`` distinguishes a certified block solve (worst-column
+    berr at or below the refinement target) from stagnation — callers of
+    the old 3-tuple could not tell the two apart.
+    """
+
+    x: np.ndarray
+    berr: float
+    steps: int
+    converged: bool
+
 
 class GESPSolver:
     """Factor once, solve many times — the GESP pipeline as an object.
@@ -76,13 +113,20 @@ class GESPSolver:
         The square sparse system matrix (CSC).
     options:
         A :class:`~repro.driver.options.GESPOptions`; paper defaults when
-        omitted.
+        omitted.  ``options.fact`` selects how much of a cached previous
+        factorization of the same sparsity pattern to reuse (falls back
+        to a cold factorization when nothing is cached).
     tracer:
         A :class:`repro.obs.Tracer` to record spans into.  When omitted,
         the ambient tracer is used if one is installed (``use_tracer``);
         otherwise a private tracer is created so the per-stage timings
         remain available (the trace of a private tracer is reachable as
         ``solver.tracer``).
+    cache:
+        The :class:`~repro.driver.factcache.FactorizationCache` to
+        consult/seed.  Default: the process-wide
+        :data:`~repro.driver.factcache.FACTOR_CACHE`; pass ``False`` to
+        disable caching for this solver.
 
     Attributes
     ----------
@@ -103,7 +147,7 @@ class GESPSolver:
     _STAGES = ("equil", "rowperm", "colperm", "symbolic", "factor")
 
     def __init__(self, a: CSCMatrix, options: GESPOptions | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None, cache=None):
         if a.nrows != a.ncols:
             raise ValueError("GESPSolver requires a square matrix")
         self.a = a
@@ -113,6 +157,16 @@ class GESPSolver:
             tracer = ambient if ambient.enabled else Tracer(name="gesp")
         self.tracer = tracer
         self._stage_spans = {}
+        self._sym_blockpivot = None
+        if cache is None:
+            from repro.driver.factcache import FACTOR_CACHE
+
+            self._cache = FACTOR_CACHE
+        elif cache is False:
+            self._cache = None
+        else:
+            self._cache = cache
+        self._fingerprint = pattern_fingerprint(a)
         with use_tracer(self.tracer):
             self._build()
 
@@ -124,97 +178,281 @@ class GESPSolver:
                 for name, span in self._stage_spans.items()}
 
     # ------------------------------------------------------------------ #
+    # pipeline stages
+    # ------------------------------------------------------------------ #
 
     @contextmanager
-    def _stage(self, name):
+    def _stage(self, name, **attrs):
         """Open one top-level build-stage span and remember it."""
-        with self.tracer.span(name) as span:
+        with self.tracer.span(name, **attrs) as span:
             self._stage_spans[name] = span
             yield span
 
-    def _build(self):
+    def _run_equil(self, a):
+        n = a.ncols
+        if self.options.equilibrate:
+            eq = equilibrate(a)
+            return eq.apply(a), eq.dr.copy(), eq.dc.copy()
+        return a, np.ones(n), np.ones(n)
+
+    def _run_rowperm(self, a, dr, dc):
         opts = self.options
-        n = self.a.ncols
-        a = self.a
+        n = a.ncols
+        if opts.row_perm == "none":
+            return a, dr, dc, np.arange(n, dtype=np.int64)
+        job = {"mc64_product": "product",
+               "mc64_bottleneck": "bottleneck",
+               "mc64_cardinality": "cardinality"}[opts.row_perm]
+        res = mc64(a, job=job,
+                   scale=(opts.scale_diagonal and job == "product"))
+        perm_r = res.perm_r
+        if opts.scale_diagonal and job == "product":
+            dr = dr * res.dr
+            dc = dc * res.dc
+            a = scale_cols(scale_rows(a, res.dr), res.dc)
+        return permute_rows(a, perm_r), dr, dc, perm_r
 
-        with self._stage("equil"):
-            if opts.equilibrate:
-                eq = equilibrate(a)
-                dr, dc = eq.dr.copy(), eq.dc.copy()
-                a = eq.apply(a)
+    def _run_colperm(self, a):
+        opts = self.options
+        n = a.ncols
+        if opts.col_perm == "natural":
+            return a, np.arange(n, dtype=np.int64)
+        from repro.ordering.colamd import column_ordering
+
+        perm_c = column_ordering(a, method=opts.col_perm)
+        return permute_symmetric(a, perm_c), perm_c
+
+    def _numeric_factor(self, a, sym):
+        """The value-dependent step (3): numeric kernels + SMW wiring."""
+        opts = self.options
+        n = a.ncols
+        if opts.diag_block_pivoting > 0.0:
+            # §5 extension: mixed static / within-diagonal-block
+            # pivoting.  Requires the symmetrized (supernodal)
+            # pattern; the resulting factors satisfy
+            # P·A_factored = L·U with block-diagonal P, absorbed
+            # inside BlockPivotedFactors.solve.
+            from repro.factor.blockpivot import (
+                supernodal_factor_block_pivoting,
+            )
+            from repro.symbolic.fill import symbolic_lu_symmetrized
+
+            if sym.symmetrized:
+                sym_s = sym
+            elif self._sym_blockpivot is not None:
+                sym_s = self._sym_blockpivot
             else:
-                dr, dc = np.ones(n), np.ones(n)
-
-        with self._stage("rowperm"):
-            if opts.row_perm != "none":
-                job = {"mc64_product": "product",
-                       "mc64_bottleneck": "bottleneck",
-                       "mc64_cardinality": "cardinality"}[opts.row_perm]
-                res = mc64(a, job=job,
-                           scale=(opts.scale_diagonal and job == "product"))
-                perm_r = res.perm_r
-                if opts.scale_diagonal and job == "product":
-                    dr *= res.dr
-                    dc *= res.dc
-                    a = scale_cols(scale_rows(a, res.dr), res.dc)
-                a = permute_rows(a, perm_r)
-            else:
-                perm_r = np.arange(n, dtype=np.int64)
-
-        with self._stage("colperm"):
-            if opts.col_perm != "natural":
-                from repro.ordering.colamd import column_ordering
-
-                perm_c = column_ordering(a, method=opts.col_perm)
-                a = permute_symmetric(a, perm_c)
-            else:
-                perm_c = np.arange(n, dtype=np.int64)
-
-        with self._stage("symbolic"):
-            sym = symbolic_lu(a, method=opts.symbolic_method)
-
-        with self._stage("factor"):
-            if opts.diag_block_pivoting > 0.0:
-                # §5 extension: mixed static / within-diagonal-block
-                # pivoting.  Requires the symmetrized (supernodal)
-                # pattern; the resulting factors satisfy
-                # P·A_factored = L·U with block-diagonal P, absorbed
-                # inside BlockPivotedFactors.solve.
-                from repro.factor.blockpivot import (
-                    supernodal_factor_block_pivoting,
-                )
-                from repro.symbolic.fill import symbolic_lu_symmetrized
-
-                sym_s = sym if sym.symmetrized else symbolic_lu_symmetrized(a)
-                self.factors = supernodal_factor_block_pivoting(
-                    a, sym=sym_s,
-                    pivot_threshold=opts.diag_block_pivoting,
-                    replace_tiny_pivots=opts.replace_tiny_pivots,
-                    tiny_pivot_scale=opts.tiny_pivot_scale)
-            else:
-                policy = ("column_max" if opts.aggressive_pivot_replacement
-                          else "sqrt_eps")
-                self.factors = gesp_factor(
-                    a, sym=sym,
-                    replace_tiny_pivots=opts.replace_tiny_pivots,
-                    tiny_pivot_scale=opts.tiny_pivot_scale,
-                    pivot_policy=policy)
-
-        self.perm_r = perm_r
-        self.perm_c = perm_c
-        self.dr = dr
-        self.dc = dc
-        self.symbolic = sym
-        self.a_factored = a
+                sym_s = symbolic_lu_symmetrized(a)
+            self._sym_blockpivot = sym_s
+            self.factors = supernodal_factor_block_pivoting(
+                a, sym=sym_s,
+                pivot_threshold=opts.diag_block_pivoting,
+                replace_tiny_pivots=opts.replace_tiny_pivots,
+                tiny_pivot_scale=opts.tiny_pivot_scale)
+        else:
+            policy = ("column_max" if opts.aggressive_pivot_replacement
+                      else "sqrt_eps")
+            self.factors = gesp_factor(
+                a, sym=sym,
+                replace_tiny_pivots=opts.replace_tiny_pivots,
+                tiny_pivot_scale=opts.tiny_pivot_scale,
+                pivot_policy=policy)
 
         # Sherman-Morrison-Woodbury wrapper when the aggressive policy
-        # actually perturbed something
+        # actually perturbed something (reset on every refactorization —
+        # the correction is value-dependent)
         self._smw = None
         if opts.aggressive_pivot_replacement and self.factors.n_tiny_pivots:
             self._smw = ShermanMorrisonSolver(
                 n, self.factors.solve,
                 self.factors.perturbed_columns, self.factors.pivot_deltas)
 
+    # ------------------------------------------------------------------ #
+    # build / refactor
+    # ------------------------------------------------------------------ #
+
+    def _build(self):
+        fact = self.options.fact
+        if fact == "FACTORED":
+            raise ValueError(
+                "fact='FACTORED' asserts the existing factors are current; "
+                "it is only valid on GESPSolver.refactor(), not on "
+                "construction")
+        plan = None
+        if fact in _REUSE_FACTS and self._cache is not None:
+            plan = self._cache.lookup(self._plan_key())
+            if plan is None:
+                # nothing cached for this pattern yet: fall back to a
+                # cold factorization and seed the cache for the next one
+                add("factor.reuse_misses", 1)
+        self._factor_from(self.a, plan,
+                          fact if plan is not None else "DOFACT")
+        if self._cache is not None:
+            self._publish_plan()
+
+    def _factor_from(self, a, plan, fact):
+        """Run the pipeline on ``a``, reusing ``plan`` per ``fact``."""
+        if fact == "SAME_PATTERN_SAME_ROWPERM":
+            # reuse every transform of the plan's run, values and all:
+            # skip equilibration and MC64 entirely (their Dr/Dc may be
+            # stale for the new values; refinement absorbs that)
+            with self._stage("equil"):
+                annotate(reused=True)
+                dr, dc = plan.dr, plan.dc
+                at = scale_cols(scale_rows(a, dr), dc)
+            with self._stage("rowperm"):
+                annotate(reused=True)
+                perm_r = plan.perm_r
+                at = permute_rows(at, perm_r)
+            with self._stage("colperm"):
+                annotate(reused=True)
+                perm_c = plan.perm_c
+                at = permute_symmetric(at, perm_c)
+            with self._stage("symbolic"):
+                annotate(reused=True)
+                sym = plan.symbolic
+            self._sym_blockpivot = plan.sym_blockpivot
+            add("factor.reuse_hits", 1)
+        elif fact == "SAME_PATTERN":
+            # recompute everything value-dependent; reuse only what a
+            # cold run would reproduce identically, so the factors stay
+            # bit-identical to a cold factorization
+            with self._stage("equil"):
+                at, dr, dc = self._run_equil(a)
+            with self._stage("rowperm"):
+                at, dr, dc, perm_r = self._run_rowperm(at, dr, dc)
+            if np.array_equal(perm_r, plan.perm_r):
+                with self._stage("colperm"):
+                    annotate(reused=True)
+                    perm_c = plan.perm_c
+                    at = permute_symmetric(at, perm_c)
+                with self._stage("symbolic"):
+                    annotate(reused=True)
+                    sym = plan.symbolic
+                self._sym_blockpivot = plan.sym_blockpivot
+                add("factor.reuse_hits", 1)
+            else:
+                # the new values moved the MC64 matching: the cached
+                # ordering no longer describes what a cold run computes,
+                # so downgrade to a cold analysis (counted as a miss)
+                add("factor.reuse_misses", 1)
+                annotate(reuse_downgraded="row_perm_changed")
+                with self._stage("colperm"):
+                    at, perm_c = self._run_colperm(at)
+                with self._stage("symbolic"):
+                    sym = symbolic_lu(at, method=self.options.symbolic_method)
+                self._sym_blockpivot = None
+        else:  # DOFACT
+            with self._stage("equil"):
+                at, dr, dc = self._run_equil(a)
+            with self._stage("rowperm"):
+                at, dr, dc, perm_r = self._run_rowperm(at, dr, dc)
+            with self._stage("colperm"):
+                at, perm_c = self._run_colperm(at)
+            with self._stage("symbolic"):
+                sym = symbolic_lu(at, method=self.options.symbolic_method)
+            self._sym_blockpivot = None
+
+        with self._stage("factor"):
+            self._numeric_factor(at, sym)
+
+        self.perm_r = perm_r
+        self.perm_c = perm_c
+        self.dr = dr
+        self.dc = dc
+        self.symbolic = sym
+        self.a_factored = at
+
+    def refactor(self, a_new: CSCMatrix, fact: str | None = None):
+        """Refactor for new values on the same sparsity pattern.
+
+        The SamePattern fast path (SuperLU_DIST's ``Fact`` ancestry):
+        every structure derived by the first factorization is reused and
+        only the value-dependent kernels re-run.  Runs under a
+        ``refactor`` span and bumps ``factor.reuse_hits`` /
+        ``factor.reuse_misses``.
+
+        Parameters
+        ----------
+        a_new:
+            The new matrix.  For the reuse modes it must match this
+            solver's sparsity pattern exactly
+            (:class:`~repro.sparse.ops.PatternMismatchError` otherwise).
+        fact:
+            Reuse mode for this refactorization:
+
+            - ``"SAME_PATTERN_SAME_ROWPERM"`` (default, unless the
+              solver's options request a specific reuse mode) — reuse
+              Dr/Dc/perm_r/perm_c and the symbolic factorization; only
+              the numeric kernel runs;
+            - ``"SAME_PATTERN"`` — recompute equilibration and MC64,
+              verify the row permutation still matches, then reuse the
+              ordering and symbolic analysis; bit-identical to a cold
+              factorization of ``a_new``;
+            - ``"FACTORED"`` — keep the existing factors untouched and
+              only swap in ``a_new`` (refinement then corrects the
+              value drift, like the paper's tiny-pivot perturbations);
+            - ``"DOFACT"`` — full cold rebuild (the pattern may change).
+
+        Returns ``self`` (factored and ready to solve).
+        """
+        if a_new.nrows != a_new.ncols:
+            raise ValueError("GESPSolver requires a square matrix")
+        if a_new.ncols != self.a.ncols:
+            raise ValueError("refactor requires a matrix of the same order")
+        if fact is None:
+            fact = (self.options.fact if self.options.fact in _REUSE_FACTS
+                    else "SAME_PATTERN_SAME_ROWPERM")
+        if fact not in ("DOFACT", "FACTORED") + _REUSE_FACTS:
+            raise ValueError(f"unknown fact {fact!r}")
+        fp = pattern_fingerprint(a_new)
+        if fact in _REUSE_FACTS + ("FACTORED",) and fp != self._fingerprint:
+            raise PatternMismatchError(
+                expected=self._fingerprint, got=fp,
+                where="GESPSolver.refactor", n=a_new.ncols, nnz=a_new.nnz)
+        with use_tracer(self.tracer), self.tracer.span("refactor", fact=fact):
+            if fact == "FACTORED":
+                # stale factors as a preconditioner: refinement on the
+                # new A absorbs the value drift (paper step (4))
+                annotate(kept_factors=True)
+                add("factor.reuse_hits", 1)
+                self.a = a_new
+                return self
+            if fact == "DOFACT":
+                self._fingerprint = fp
+                self._factor_from(a_new, None, "DOFACT")
+            else:
+                plan = self._instance_plan()
+                self._factor_from(a_new, plan, fact)
+        self.a = a_new
+        if self._cache is not None:
+            self._publish_plan()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # cache plumbing
+    # ------------------------------------------------------------------ #
+
+    def _plan_key(self):
+        from repro.driver.factcache import serial_plan_key
+
+        return serial_plan_key(self._fingerprint, self.options)
+
+    def _instance_plan(self):
+        """This solver's own state as a plan (refactor never depends on
+        the module cache surviving eviction)."""
+        from repro.driver.factcache import PatternPlan
+
+        return PatternPlan(
+            fingerprint=self._fingerprint, key=self._plan_key(),
+            perm_r=self.perm_r, perm_c=self.perm_c, dr=self.dr, dc=self.dc,
+            symbolic=self.symbolic, sym_blockpivot=self._sym_blockpivot)
+
+    def _publish_plan(self):
+        self._cache.store(self._instance_plan())
+
+    # ------------------------------------------------------------------ #
+    # solves
     # ------------------------------------------------------------------ #
 
     def enable_woodbury(self):
@@ -274,10 +512,12 @@ class GESPSolver:
                 from repro.solve.refine import componentwise_backward_error
 
                 x = self.solve_once(b)
+                berr = componentwise_backward_error(self.a, x, b)
+                # the unrefined path makes the same promise as the
+                # refined one: converged means berr met the target
                 report = SolveReport(
-                    x=x,
-                    berr=componentwise_backward_error(self.a, x, b),
-                    refine_steps=0, berr_history=[], converged=True)
+                    x=x, berr=berr, refine_steps=0, berr_history=[berr],
+                    converged=bool(berr <= opts.refine_eps))
             if forward_error:
                 with self.tracer.span("errbound"):
                     report.forward_error_estimate = forward_error_bound(
@@ -286,17 +526,26 @@ class GESPSolver:
         return report
 
     def solve_multi(self, b_block, refine: bool | None = None,
-                    max_steps: int | None = None):
+                    max_steps: int | None = None) -> MultiSolveResult:
         """Solve ``A X = B`` for a block of right-hand sides (n × nrhs).
 
         Uses the blocked triangular kernels (one sweep over the factors
         for all columns), with optional joint iterative refinement on the
         worst column's componentwise backward error — the multiple-RHS
         workload the paper's §5 discussion of solve algorithms anticipates.
-        Returns ``(X, berr, steps)``.  Not available with diagonal-block
-        pivoting (the packed supernodal factors have their own solve).
+        Mirrors the single-RHS refinement loop of
+        :func:`repro.solve.refine.iterative_refinement`: on stagnation
+        the *better* iterate is kept (a worsening correction is rolled
+        back) and the returned :class:`MultiSolveResult` carries a
+        ``converged`` flag; ``opts.extra_precision_residual`` is honored
+        for the block residuals exactly like the single-RHS path.
+        Not available with diagonal-block pivoting (the packed supernodal
+        factors have their own solve).
         """
-        from repro.solve.refine import componentwise_backward_error
+        from repro.solve.refine import (
+            _residual_extended,
+            componentwise_backward_error,
+        )
         from repro.solve.triangular import (
             solve_lower_csc_multi,
             solve_upper_csc_multi,
@@ -311,6 +560,7 @@ class GESPSolver:
         opts = self.options
         do_refine = opts.refine if refine is None else refine
         cap = opts.refine_max_steps if max_steps is None else max_steps
+        xp = opts.extra_precision_residual
 
         def direct(bb):
             if self._smw is not None:
@@ -326,30 +576,52 @@ class GESPSolver:
                 solve_lower_csc_multi(self.factors.l, c, unit_diagonal=True))
             return self.dc[:, None] * z[self.perm_c, :]
 
-        x = direct(b_block)
+        def block_residual(xx):
+            if xp:
+                return np.column_stack([
+                    _residual_extended(self.a, xx[:, t], b_block[:, t])
+                    for t in range(b_block.shape[1])])
+            from repro.sparse.ops import spmv
+
+            return np.column_stack([
+                b_block[:, t] - spmv(self.a, xx[:, t])
+                for t in range(b_block.shape[1])])
 
         def worst_berr(xx):
             return max(componentwise_backward_error(
-                self.a, xx[:, t], b_block[:, t])
+                self.a, xx[:, t], b_block[:, t], extra_precision=xp)
                 for t in range(b_block.shape[1]))
 
+        x = direct(b_block)
         berr = worst_berr(x)
         steps = 0
+        converged = bool(berr <= opts.refine_eps)
+        if do_refine and not np.isfinite(berr):
+            # non-finite berr cannot be refined away (see refine.py):
+            # fail fast instead of compounding garbage for cap steps
+            return MultiSolveResult(x=x, berr=berr, steps=0, converged=False)
         if do_refine:
-            from repro.sparse.ops import spmv
-
-            prev = berr
             while berr > opts.refine_eps and steps < cap:
-                r = np.column_stack([
-                    b_block[:, t] - spmv(self.a, x[:, t])
-                    for t in range(b_block.shape[1])])
-                x = x + direct(r)
+                dx = direct(block_residual(x))
+                x = x + dx
                 steps += 1
-                berr = worst_berr(x)
-                if berr > prev / opts.refine_stagnation:
+                new_berr = worst_berr(x)
+                if new_berr <= opts.refine_eps:
+                    berr = new_berr
+                    converged = True
                     break
-                prev = berr
-        return x, berr, steps
+                if new_berr > berr / opts.refine_stagnation:
+                    # stagnation: keep the better iterate and stop (the
+                    # same rollback as the single-RHS path)
+                    if new_berr > berr:
+                        x = x - dx
+                    else:
+                        berr = new_berr
+                    converged = False
+                    break
+                berr = new_berr
+        return MultiSolveResult(x=x, berr=berr, steps=steps,
+                                converged=converged)
 
     def solve_transpose(self, b):
         """x with ``Aᵀ x = b`` through the same factors.

@@ -60,6 +60,24 @@ class GESPOptions:
         §5 extension ("mix static and partial pivoting by only pivoting
         within a diagonal block"): threshold value in (0,1]; 0 disables.
         Used by the supernodal kernel only.
+    fact:
+        How much of a previous factorization of a structurally identical
+        matrix to reuse (SuperLU_DIST's ``Fact`` option; see
+        docs/REFACTORIZATION.md):
+
+        - ``"DOFACT"`` — factor from scratch (default);
+        - ``"SAME_PATTERN"`` — reuse the fill-reducing column ordering
+          and the symbolic factorization from the
+          :class:`~repro.driver.factcache.FactorizationCache` after
+          verifying the (recomputed, value-dependent) row permutation
+          still matches; bit-identical to a cold factorization;
+        - ``"SAME_PATTERN_SAME_ROWPERM"`` — additionally reuse the row
+          permutation and the Dr/Dc scalings, skipping equilibration and
+          MC64 entirely; fastest, at the price of stale scalings that
+          iterative refinement corrects;
+        - ``"FACTORED"`` — the existing factors are up to date; only
+          valid on :meth:`~repro.driver.gesp_driver.GESPSolver.refactor`
+          (swap in new values and let refinement absorb the drift).
     """
 
     equilibrate: bool = True
@@ -76,8 +94,12 @@ class GESPOptions:
     refine_stagnation: float = 2.0
     extra_precision_residual: bool = False
     diag_block_pivoting: float = 0.0
+    fact: str = "DOFACT"
 
     def validate(self):
+        if self.fact not in ("DOFACT", "SAME_PATTERN",
+                             "SAME_PATTERN_SAME_ROWPERM", "FACTORED"):
+            raise ValueError(f"unknown fact {self.fact!r}")
         if self.row_perm not in ("mc64_product", "mc64_bottleneck",
                                  "mc64_cardinality", "none"):
             raise ValueError(f"unknown row_perm {self.row_perm!r}")

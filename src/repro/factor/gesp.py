@@ -128,6 +128,18 @@ def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
     n = a.ncols
     if sym is None:
         sym = symbolic_lu(a, method=symbolic_method)
+    elif sym.pattern_fingerprint is not None:
+        # a reused symbolic factorization must describe this matrix's
+        # structure — scattering a mismatched pattern through the SPA
+        # would silently produce garbage factors
+        from repro.sparse.ops import PatternMismatchError, pattern_fingerprint
+
+        got = pattern_fingerprint(a)
+        if got != sym.pattern_fingerprint:
+            raise PatternMismatchError(
+                expected=sym.pattern_fingerprint, got=got,
+                where="gesp_factor (reused SymbolicLU)",
+                n=a.ncols, nnz=a.nnz)
     if tiny_pivot_scale is None:
         tiny_pivot_scale = np.sqrt(_EPS)
     anorm = norm1(a)

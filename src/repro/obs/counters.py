@@ -63,8 +63,24 @@ COUNTERS = (
     CounterSpec(
         "refine.steps", "step",
         "repro/solve/refine.py",
-        "Iterative-refinement steps performed after the initial solve "
-        "(paper step (4))."),
+        "Iterative-refinement corrections applied after the initial "
+        "solve (paper step (4)).  Note the paper's Figure 3 counts the "
+        "initial solve's convergence check as one step, so its axis is "
+        "this counter + 1 (RefinementResult.figure3_steps)."),
+    CounterSpec(
+        "factor.reuse_hits", "factorization",
+        "repro/driver/gesp_driver.py, repro/driver/dist_driver.py",
+        "Factorizations that reused a same-pattern plan (cached column "
+        "ordering + symbolic analysis, and for "
+        "SAME_PATTERN_SAME_ROWPERM also the row permutation and "
+        "scalings; the distributed driver additionally reuses the "
+        "partition, layout, and comm schedule)."),
+    CounterSpec(
+        "factor.reuse_misses", "factorization",
+        "repro/driver/gesp_driver.py, repro/driver/dist_driver.py",
+        "Reuse-mode factorizations that fell back to a cold analysis: "
+        "nothing cached for the pattern yet, or the recomputed MC64 row "
+        "permutation no longer matched the plan under SAME_PATTERN."),
     CounterSpec(
         "dmem.msgs_sent", "message",
         "repro/dmem/simulator.py",

@@ -15,6 +15,6 @@ per iteration K, the process column owning block column K factors it
   32 processes; more for sparser problems).
 """
 
-from repro.pdgstrf.factor2d import FactorizationRun, pdgstrf
+from repro.pdgstrf.factor2d import FactorizationRun, build_schedule, pdgstrf
 
-__all__ = ["FactorizationRun", "pdgstrf"]
+__all__ = ["FactorizationRun", "build_schedule", "pdgstrf"]

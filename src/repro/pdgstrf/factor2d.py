@@ -39,7 +39,7 @@ from repro.factor.supernodal import (
 from repro.obs import add, annotate, trace
 from repro.symbolic.edag import BlockDAG
 
-__all__ = ["FactorizationRun", "pdgstrf"]
+__all__ = ["FactorizationRun", "build_schedule", "pdgstrf"]
 
 _DIAG_L, _DIAG_U, _L_PANEL, _U_PANEL = 0, 1, 2, 3
 
@@ -75,7 +75,8 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
             tiny_pivot_scale: float | None = None,
             fault_plan=None,
             recv_timeout: float | None = None,
-            recv_retries: int = DEFAULT_RECV_RETRIES) -> FactorizationRun:
+            recv_retries: int = DEFAULT_RECV_RETRIES,
+            schedule: dict | None = None) -> FactorizationRun:
     """Factor the distributed matrix in place (values in ``dist`` become
     the L and U factors).
 
@@ -101,6 +102,13 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
         an injected dropped message surfaces as a structured
         :class:`~repro.dmem.comm.CommTimeoutError` instead of a hang;
         pass an explicit value to arm timeouts on a reliable machine too.
+    schedule:
+        A precomputed :func:`build_schedule` result for this (dist, dag,
+        edag_prune) triple.  The schedule is pure structure — pattern
+        reuse (``Fact=SAME_PATTERN...``) computes it once per pattern and
+        passes it to every refactorization, which is exactly the
+        amortization the paper's static-pivoting design enables.
+        Computed here when omitted.
     """
     machine = machine or MachineModel()
     if tiny_pivot_scale is None:
@@ -111,7 +119,8 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
         recv_timeout = DEFAULT_RECV_TIMEOUT
 
     with trace("factor/pdgstrf", pipeline=pipeline, edag_prune=edag_prune):
-        sched = _build_schedule(dist, dag, edag_prune)
+        sched = schedule if schedule is not None \
+            else build_schedule(dist, dag, edag_prune)
         progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune,
                                sched, recv_timeout, recv_retries)
                  for r in range(dist.grid.size)]
@@ -129,13 +138,16 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
 
 # --------------------------------------------------------------------- #
 
-def _build_schedule(dist, dag, edag_prune):
+def build_schedule(dist, dag, edag_prune):
     """Precompute the per-iteration communication schedule once.
 
     Every rank derives identical sets from the replicated symbolic data;
     computing them once (instead of per rank per iteration) removes the
     dominant Python overhead from the simulation (profiling-guided — see
-    the repo guides' "no optimization without measuring").
+    the repo guides' "no optimization without measuring").  The result
+    depends only on the block structure, the DAG, and ``edag_prune`` —
+    never on values — so it is cached per sparsity pattern and reused
+    across refactorizations (docs/REFACTORIZATION.md).
     """
     grid = dist.grid
     nprow, npcol = grid.nprow, grid.npcol

@@ -257,11 +257,15 @@ def recover_solve(a: CSCMatrix, b, options: GESPOptions | None = None,
                     detail="aggressive column-max pivot replacement + "
                            "extended-precision refinement")
                 try:
+                    # fact="DOFACT": the recovery rebuild must be a real
+                    # cold factorization, never a reuse-plan shortcut of
+                    # the analysis that just failed
                     ropts = dataclasses.replace(
                         opts, replace_tiny_pivots=True,
                         aggressive_pivot_replacement=True,
                         diag_block_pivoting=0.0,
-                        extra_precision_residual=True)
+                        extra_precision_residual=True,
+                        fact="DOFACT")
                     rsolver = GESPSolver(a, ropts)
                     att.diagnoses.extend(_factor_health(rsolver, n))
                     res = rsolver.solve(b)

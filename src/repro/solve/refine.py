@@ -77,9 +77,13 @@ def _residual_extended(a: CSCMatrix, x, b):
 class RefinementResult:
     """Outcome of :func:`iterative_refinement`.
 
-    ``steps`` counts *solves performed after the initial one* the way the
-    paper's Figure 3 does: one step means the initial solution already
-    passed the test after a single refinement iteration check.
+    ``steps`` counts *corrections applied after the initial solve*:
+    ``steps == 0`` means the first solution already passed the berr test
+    and no correction was needed.  The paper's Figure 3 counts the
+    initial solve's convergence check itself as one step, so its x-axis
+    is ``steps + 1`` — use :attr:`figure3_steps` (also available on
+    :class:`repro.driver.gesp_driver.SolveReport`) when comparing
+    against the paper, and never mix the two conventions.
     """
 
     x: np.ndarray
@@ -87,6 +91,12 @@ class RefinementResult:
     steps: int
     berr_history: list = field(default_factory=list)
     converged: bool = True
+
+    @property
+    def figure3_steps(self):
+        """``steps`` in the paper's Figure-3 counting (initial solve's
+        check = step 1)."""
+        return self.steps + 1
 
 
 def iterative_refinement(a: CSCMatrix, solve: Callable, b,

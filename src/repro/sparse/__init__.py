@@ -33,6 +33,8 @@ from repro.sparse.ops import (
     pattern_ata,
     structural_symmetry,
     numerical_symmetry,
+    pattern_fingerprint,
+    PatternMismatchError,
 )
 from repro.sparse.io import (
     read_matrix_market,
@@ -59,6 +61,8 @@ __all__ = [
     "pattern_ata",
     "structural_symmetry",
     "numerical_symmetry",
+    "pattern_fingerprint",
+    "PatternMismatchError",
     "read_matrix_market",
     "write_matrix_market",
     "read_harwell_boeing",

@@ -32,7 +32,51 @@ __all__ = [
     "extract_lower",
     "extract_upper",
     "residual",
+    "pattern_fingerprint",
+    "PatternMismatchError",
 ]
+
+
+class PatternMismatchError(ValueError):
+    """A pattern-reuse path was handed a structurally different matrix.
+
+    Raised instead of producing garbage factors when ``SAME_PATTERN`` /
+    ``SAME_PATTERN_SAME_ROWPERM`` reuse is requested for a matrix whose
+    sparsity structure does not match the cached one.  Carries the
+    structured facts a caller needs to diagnose the mismatch.
+    """
+
+    def __init__(self, expected: str, got: str, where: str = "",
+                 n: int | None = None, nnz: int | None = None):
+        self.expected = expected
+        self.got = got
+        self.where = where
+        self.n = n
+        self.nnz = nnz
+        detail = f" (n={n}, nnz={nnz})" if n is not None else ""
+        super().__init__(
+            f"sparsity pattern mismatch{' in ' + where if where else ''}: "
+            f"expected fingerprint {expected[:16]}…, got {got[:16]}…{detail}"
+            " — pattern reuse requires a structurally identical matrix")
+
+
+def pattern_fingerprint(a: CSCMatrix) -> str:
+    """Stable hex digest of A's sparsity structure (shape + pattern).
+
+    Two matrices share a fingerprint iff they have the same shape and
+    identical (colptr, rowind) arrays — the key of the refactorization
+    cache (docs/REFACTORIZATION.md).  Values are deliberately excluded:
+    the whole point of static pivoting is that every structure derived
+    here is valid for *any* values on the same pattern.
+    """
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(a.nrows).tobytes())
+    h.update(np.int64(a.ncols).tobytes())
+    h.update(np.ascontiguousarray(a.colptr).tobytes())
+    h.update(np.ascontiguousarray(a.rowind).tobytes())
+    return h.hexdigest()
 
 
 # --------------------------------------------------------------------- #

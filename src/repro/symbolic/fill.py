@@ -26,7 +26,7 @@ import numpy as np
 from repro.obs import add, get_tracer, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import pattern_union_transpose
+from repro.sparse.ops import pattern_fingerprint, pattern_union_transpose
 
 __all__ = [
     "SymbolicLU",
@@ -54,6 +54,12 @@ class SymbolicLU:
         (etree of AᵀA), which is an upper bound on the true dependencies.
     symmetrized:
         Whether the pattern came from the A+Aᵀ analysis.
+    pattern_fingerprint:
+        :func:`repro.sparse.ops.pattern_fingerprint` of the matrix this
+        analysis was computed for, recorded by the public entry points.
+        Reuse paths (``Fact=SAME_PATTERN...``) compare it against the new
+        matrix before trusting the cached structure, so a stale symbolic
+        factorization can never silently produce garbage factors.
     """
 
     n: int
@@ -63,6 +69,7 @@ class SymbolicLU:
     u_colind: np.ndarray
     etree: np.ndarray
     symmetrized: bool
+    pattern_fingerprint: str | None = None
 
     @property
     def nnz_l(self):
@@ -134,6 +141,7 @@ def symbolic_lu_unsymmetric(a: CSCMatrix) -> SymbolicLU:
     """
     with trace("symbolic/fill", method="unsymmetric"):
         sym = _symbolic_lu_unsymmetric(a)
+        sym.pattern_fingerprint = pattern_fingerprint(a)
         _record_fill(sym)
         return sym
 
@@ -219,6 +227,7 @@ def symbolic_lu_symmetrized(a: CSCMatrix) -> SymbolicLU:
     """
     with trace("symbolic/fill", method="symmetrized"):
         sym = _symbolic_lu_symmetrized(a)
+        sym.pattern_fingerprint = pattern_fingerprint(a)
         _record_fill(sym)
         return sym
 

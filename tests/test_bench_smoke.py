@@ -1,0 +1,54 @@
+"""Tier-2 smoke of the refactorization benchmark (``-m bench_smoke``).
+
+A fast (~seconds) end-to-end pass over the same machinery the full
+benchmark suite exercises: the seeded trajectory of
+``benchmarks/bench_refactor.py`` and the ``BENCH_refactor.json`` record
+written by ``scripts/bench_trajectory.py``, schema-checked so the file's
+consumers (future sessions tracking the perf trajectory) can rely on its
+shape.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_trajectory_smoke():
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from bench_refactor import SPEEDUP_FLOOR, refactor_trajectory
+    finally:
+        sys.path.pop(0)
+    a, rows, counters = refactor_trajectory(name="cfd06", sweeps=3)
+    assert len(rows) == 4
+    assert rows[0]["fact"] == "DOFACT"
+    assert all(r["berr"] <= 1e-12 for r in rows)
+    assert counters.get("factor.reuse_hits", 0) == 3
+    cold = rows[0]["seconds"]
+    warm = min(r["seconds"] for r in rows[1:])
+    assert cold / warm >= SPEEDUP_FLOOR, (cold, warm)
+
+
+def test_bench_trajectory_script_schema(tmp_path):
+    out = tmp_path / "BENCH_refactor.json"
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "bench_trajectory.py"),
+         "--matrix", "cfd03", "--sweeps", "2", "--out", str(out)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    rec = json.loads(out.read_text())
+    assert rec["schema"] == "bench_refactor/v1"
+    assert rec["matrix"] == "cfd03"
+    assert len(rec["trajectory"]) == 3
+    assert set(rec["trajectory"][0]) == {"iter", "fact", "seconds",
+                                         "berr", "steps"}
+    assert rec["speedup"] >= rec["speedup_floor"] == 1.3
+    assert rec["reuse"]["hits"] == 2

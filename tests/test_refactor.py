@@ -1,0 +1,462 @@
+"""The pattern-reuse solve path: Fact modes, refactor(), FactorizationCache.
+
+The contract under test (docs/REFACTORIZATION.md):
+
+- ``SAME_PATTERN`` warm factorizations are **bit-identical** to a cold
+  factorization of the same matrix (L, U, perm_r, perm_c);
+- a wrong-pattern matrix raises a structured
+  :class:`~repro.sparse.ops.PatternMismatchError` on every reuse
+  surface, never garbage factors;
+- cache misses fall back to a cold factorization (and seed the cache);
+- ``factor.reuse_hits`` / ``factor.reuse_misses`` are visible in trace
+  JSON;
+- reuse composes with fault injection and the recovery ladder.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.driver import (
+    FactorizationCache,
+    GESPOptions,
+    GESPSolver,
+    MultiSolveResult,
+)
+from repro.driver.dist_driver import DistributedGESPSolver
+from repro.driver.factcache import FACTOR_CACHE, serial_plan_key
+from repro.obs import Tracer, use_tracer
+from repro.sparse import CSCMatrix
+from repro.sparse.ops import PatternMismatchError, pattern_fingerprint
+
+from conftest import random_nonsingular_dense
+
+EPS = float(np.finfo(np.float64).eps)
+
+
+def _pair(rng, n=40, density=0.2, scale=1e-2):
+    """Two matrices with identical sparsity patterns, different values."""
+    d = random_nonsingular_dense(rng, n, density=density, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    a2 = CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                   a.nzval * (1.0 + scale * rng.standard_normal(a.nnz)),
+                   check=False)
+    return a, a2
+
+
+def _other_pattern(a, rng):
+    """A matrix whose pattern provably differs from ``a``'s."""
+    d = a.to_dense()
+    i, j = 0, a.ncols - 1
+    if d[i, j] == 0.0:
+        d[i, j] = 1.0
+    else:
+        d[i, j] = 0.0
+        d[i, (j + 1) % a.ncols] = d[i, (j + 1) % a.ncols] or 1.0
+    out = CSCMatrix.from_dense(d)
+    assert pattern_fingerprint(out) != pattern_fingerprint(a)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------- #
+
+def test_fingerprint_ignores_values(rng):
+    a, a2 = _pair(rng)
+    assert pattern_fingerprint(a) == pattern_fingerprint(a2)
+
+
+def test_fingerprint_sees_structure(rng):
+    a, _ = _pair(rng)
+    assert pattern_fingerprint(_other_pattern(a, rng)) != pattern_fingerprint(a)
+
+
+# --------------------------------------------------------------------- #
+# bit-identical warm factorization
+# --------------------------------------------------------------------- #
+
+def test_same_pattern_bit_identical_via_cache(rng):
+    """A SAME_PATTERN warm construction must equal a cold factorization
+    of the new matrix bit for bit."""
+    a, a2 = _pair(rng)
+    cache = FactorizationCache()
+    GESPSolver(a, GESPOptions(fact="SAME_PATTERN"), cache=cache)
+    warm = GESPSolver(a2, GESPOptions(fact="SAME_PATTERN"), cache=cache)
+    cold = GESPSolver(a2, cache=False)
+    assert np.array_equal(warm.perm_r, cold.perm_r)
+    assert np.array_equal(warm.perm_c, cold.perm_c)
+    assert np.array_equal(warm.factors.l.nzval, cold.factors.l.nzval)
+    assert np.array_equal(warm.factors.u.nzval, cold.factors.u.nzval)
+    assert np.array_equal(warm.factors.l.rowind, cold.factors.l.rowind)
+    assert np.array_equal(warm.factors.u.rowind, cold.factors.u.rowind)
+
+
+def test_same_pattern_bit_identical_via_refactor(rng):
+    a, a2 = _pair(rng)
+    s = GESPSolver(a, cache=False)
+    s.refactor(a2, fact="SAME_PATTERN")
+    cold = GESPSolver(a2, cache=False)
+    assert np.array_equal(s.factors.l.nzval, cold.factors.l.nzval)
+    assert np.array_equal(s.factors.u.nzval, cold.factors.u.nzval)
+    assert np.array_equal(s.perm_r, cold.perm_r)
+    assert np.array_equal(s.perm_c, cold.perm_c)
+
+
+def test_same_pattern_rowperm_drift_downgrades_not_garbage(rng):
+    """When new values move the MC64 matching, SAME_PATTERN must fall
+    back to a cold analysis (counted as a miss) and still produce a
+    correct, bit-identical-to-cold factorization."""
+    a, _ = _pair(rng, n=30)
+    # drastically different values: the matching will move
+    rng2 = np.random.default_rng(99)
+    a2 = CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                   rng2.standard_normal(a.nnz) * 100.0, check=False)
+    cache = FactorizationCache()
+    GESPSolver(a, GESPOptions(fact="SAME_PATTERN"), cache=cache)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        warm = GESPSolver(a2, GESPOptions(fact="SAME_PATTERN"), cache=cache)
+    cold = GESPSolver(a2, cache=False)
+    assert np.array_equal(warm.factors.l.nzval, cold.factors.l.nzval)
+    assert np.array_equal(warm.factors.u.nzval, cold.factors.u.nzval)
+    counters = tracer.root.all_counters()
+    # either the matching moved (miss recorded) or it happened to agree
+    # (hit recorded) — never neither, never garbage
+    assert counters.get("factor.reuse_hits", 0) + \
+        counters.get("factor.reuse_misses", 0) >= 1
+
+
+def test_same_pattern_same_rowperm_solves_accurately(rng):
+    a, a2 = _pair(rng)
+    b = rng.standard_normal(a.ncols)
+    s = GESPSolver(a, cache=False)
+    rep = s.refactor(a2).solve(b)  # default: SAME_PATTERN_SAME_ROWPERM
+    assert rep.converged
+    assert rep.berr <= 8 * EPS
+
+
+def test_factored_mode_keeps_factors_refines_drift(rng):
+    a, a2 = _pair(rng, scale=1e-6)
+    b = rng.standard_normal(a.ncols)
+    s = GESPSolver(a, cache=False)
+    l_before = s.factors.l.nzval.copy()
+    rep = s.refactor(a2, fact="FACTORED").solve(b)
+    assert np.array_equal(s.factors.l.nzval, l_before)  # untouched
+    assert rep.converged  # refinement absorbed the value drift
+    assert rep.berr <= 8 * EPS
+
+
+def test_factored_invalid_at_construction(rng):
+    a, _ = _pair(rng, n=10)
+    with pytest.raises(ValueError, match="FACTORED"):
+        GESPSolver(a, GESPOptions(fact="FACTORED"))
+    with pytest.raises(ValueError, match="FACTORED"):
+        DistributedGESPSolver(a, nprocs=2,
+                              options=GESPOptions(fact="FACTORED"))
+
+
+def test_unknown_fact_rejected(rng):
+    a, _ = _pair(rng, n=10)
+    with pytest.raises(ValueError):
+        GESPOptions(fact="SOMETIMES").validate()
+    s = GESPSolver(a, cache=False)
+    with pytest.raises(ValueError):
+        s.refactor(a, fact="SOMETIMES")
+
+
+# --------------------------------------------------------------------- #
+# structured pattern-mismatch errors
+# --------------------------------------------------------------------- #
+
+def test_refactor_pattern_mismatch_raises(rng):
+    a, _ = _pair(rng)
+    s = GESPSolver(a, cache=False)
+    bad = _other_pattern(a, rng)
+    with pytest.raises(PatternMismatchError) as ei:
+        s.refactor(bad)
+    assert ei.value.expected == pattern_fingerprint(a)
+    assert ei.value.got == pattern_fingerprint(bad)
+    assert "GESPSolver.refactor" in str(ei.value)
+    # the solver is still usable with its old factors
+    rep = s.solve(a @ np.ones(a.ncols))
+    assert rep.converged
+
+
+def test_refactor_pattern_mismatch_is_valueerror(rng):
+    """PatternMismatchError must stay a ValueError so existing broad
+    handlers keep working."""
+    a, _ = _pair(rng, n=12)
+    s = GESPSolver(a, cache=False)
+    with pytest.raises(ValueError):
+        s.refactor(_other_pattern(a, rng))
+
+
+def test_gesp_factor_rejects_wrong_pattern_symbolic(rng):
+    from repro.factor.gesp import gesp_factor
+    from repro.symbolic.fill import symbolic_lu
+
+    a, _ = _pair(rng)
+    sym = symbolic_lu(a)
+    bad = _other_pattern(a, rng)
+    with pytest.raises(PatternMismatchError):
+        gesp_factor(bad, sym=sym)
+
+
+def test_refill_values_rejects_wrong_pattern(rng):
+    from repro.dmem import best_grid, distribute_matrix, refill_values
+    from repro.symbolic.fill import symbolic_lu_symmetrized
+    from repro.symbolic.supernode import block_partition
+
+    a, a2 = _pair(rng, n=25)
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=8)
+    dist = distribute_matrix(a, sym, part, best_grid(4))
+    refill_values(dist, a2, sym)  # same pattern: fine
+    with pytest.raises(PatternMismatchError):
+        refill_values(dist, _other_pattern(a, rng), sym)
+
+
+def test_dist_refactor_pattern_mismatch(rng):
+    a, _ = _pair(rng, n=30)
+    s = DistributedGESPSolver(a, nprocs=4, cache=False)
+    with pytest.raises(PatternMismatchError):
+        s.refactor(_other_pattern(a, rng))
+
+
+# --------------------------------------------------------------------- #
+# the cache
+# --------------------------------------------------------------------- #
+
+def test_cache_miss_falls_back_cold_then_hits(rng):
+    a, a2 = _pair(rng)
+    cache = FactorizationCache()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        GESPSolver(a, GESPOptions(fact="SAME_PATTERN_SAME_ROWPERM"),
+                   cache=cache)  # miss: empty cache
+        GESPSolver(a2, GESPOptions(fact="SAME_PATTERN_SAME_ROWPERM"),
+                   cache=cache)  # hit
+    counters = tracer.root.all_counters()
+    assert counters["factor.reuse_misses"] == 1
+    assert counters["factor.reuse_hits"] == 1
+    assert cache.stats().size == 1
+
+
+def test_cache_key_separates_option_shapes(rng):
+    a, _ = _pair(rng)
+    fp = pattern_fingerprint(a)
+    k1 = serial_plan_key(fp, GESPOptions())
+    k2 = serial_plan_key(fp, GESPOptions(col_perm="colamd"))
+    assert k1 != k2
+
+
+def test_cache_lru_eviction(rng):
+    cache = FactorizationCache(maxsize=2)
+    mats = [random_nonsingular_dense(np.random.default_rng(s), 12 + s,
+                                     hidden_perm=False)
+            for s in range(3)]
+    for d in mats:
+        GESPSolver(CSCMatrix.from_dense(d), cache=cache)
+    assert len(cache) == 2  # first entry evicted
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats().hits == 0
+
+
+def test_module_cache_is_default(rng):
+    a, _ = _pair(rng, n=14)
+    key_count = len(FACTOR_CACHE)
+    s = GESPSolver(a)
+    assert len(FACTOR_CACHE) >= key_count  # seeded (or refreshed)
+    assert s._plan_key() in FACTOR_CACHE
+
+
+def test_cache_disabled_with_false(rng):
+    a, _ = _pair(rng, n=14)
+    cache = FactorizationCache()
+    s = GESPSolver(a, cache=False)
+    assert s._cache is None
+    assert len(cache) == 0
+
+
+# --------------------------------------------------------------------- #
+# counters in trace JSON
+# --------------------------------------------------------------------- #
+
+def test_reuse_counters_in_trace_json(rng, tmp_path):
+    a, a2 = _pair(rng)
+    b = rng.standard_normal(a.ncols)
+    cache = FactorizationCache()
+    tracer = Tracer(name="reuse")
+    with use_tracer(tracer):
+        s = GESPSolver(a, GESPOptions(fact="SAME_PATTERN"), cache=cache)
+        s.solve(b)
+        s.refactor(a2)
+        s.solve(b)
+    record = tracer.record(test="reuse")
+    path = tmp_path / "trace.json"
+    record.dump(str(path))
+    data = json.loads(path.read_text())
+    flat = json.dumps(data)
+    assert "factor.reuse_hits" in flat
+    assert "factor.reuse_misses" in flat
+    # and a refactor span exists with the fact mode attribute
+    assert '"refactor"' in flat
+    assert "SAME_PATTERN" in flat
+
+
+# --------------------------------------------------------------------- #
+# distributed reuse
+# --------------------------------------------------------------------- #
+
+def test_dist_warm_construction_bit_identical(rng):
+    a, a2 = _pair(rng, n=40)
+    cache = FactorizationCache()
+    s1 = DistributedGESPSolver(a, nprocs=4,
+                               options=GESPOptions(fact="SAME_PATTERN"),
+                               cache=cache)
+    s1.factorize()
+    warm = DistributedGESPSolver(a2, nprocs=4,
+                                 options=GESPOptions(fact="SAME_PATTERN"),
+                                 cache=cache)
+    cold = DistributedGESPSolver(a2, nprocs=4, cache=False)
+    warm.factorize()
+    cold.factorize()
+    gw, gc = warm.dist.gather_to_supernodal(), cold.dist.gather_to_supernodal()
+    for x, y in zip(gw.diag, gc.diag):
+        assert np.array_equal(x, y)
+    for x, y in zip(gw.below, gc.below):
+        assert np.array_equal(x, y)
+    for x, y in zip(gw.right, gc.right):
+        assert np.array_equal(x, y)
+
+
+def test_dist_refactor_refills_in_place_and_reuses_schedule(rng):
+    a, a2 = _pair(rng, n=40)
+    b = rng.standard_normal(a.ncols)
+    s = DistributedGESPSolver(a, nprocs=4, cache=False)
+    assert s.solve(b).converged
+    sched = s._schedule
+    assert sched is not None
+    # remember identity of a block array: refactor must reuse the storage
+    rank, key = next((r, k) for r in range(s.grid.size)
+                     for k in s.dist.diag[r])
+    block_before = s.dist.diag[rank][key]
+    s.refactor(a2)
+    assert s.dist.diag[rank][key] is block_before  # refilled, not realloc'd
+    assert s._schedule is sched                    # schedule reused
+    assert s.factor_run is None                    # numeric phase re-runs
+    rep = s.solve(b)
+    assert rep.converged and rep.berr <= 8 * EPS
+    # correctness vs a cold solver of the new matrix
+    cold = DistributedGESPSolver(a2, nprocs=4, cache=False)
+    assert np.allclose(rep.x, cold.solve(b).x, rtol=1e-10, atol=1e-12)
+
+
+def test_dist_reuse_under_fault_plan(rng):
+    """Reuse must compose with fault injection: a lossy-but-recoverable
+    machine still factors correctly through the warm path."""
+    from repro.dmem import FaultPlan
+
+    a, a2 = _pair(rng, n=35)
+    b = rng.standard_normal(a.ncols)
+    plan = FaultPlan(seed=3, duplicate=0.1, delay=0.2, delay_factor=1.0)
+    s = DistributedGESPSolver(a, nprocs=4, fault_plan=plan, cache=False)
+    assert s.solve(b).converged
+    rep = s.refactor(a2).solve(b)
+    assert rep.converged
+    assert rep.berr <= 8 * EPS
+
+
+# --------------------------------------------------------------------- #
+# recovery-ladder interplay
+# --------------------------------------------------------------------- #
+
+def test_recover_solve_with_reuse_options(rng):
+    """recover_solve must work when the caller's options request reuse:
+    rung 1 honors the mode, and the rung-4 rebuild is forced DOFACT."""
+    from repro.recovery import recover_solve
+
+    a, a2 = _pair(rng)
+    b = a @ np.ones(a.ncols)
+    cache_opts = GESPOptions(fact="SAME_PATTERN_SAME_ROWPERM")
+    GESPSolver(a, cache_opts)  # seed the module cache
+    rep = recover_solve(a2, a2 @ np.ones(a.ncols), options=cache_opts)
+    assert rep.converged
+    assert np.abs(rep.x - 1.0).max() < 1e-6
+
+
+def test_ladder_refactor_rung_forces_dofact(rng):
+    """The aggressive-refactor rung rebuilds cold even when the failing
+    options asked for reuse (no cache interplay during recovery)."""
+    import repro.recovery.ladder as ladder_mod
+
+    src = open(ladder_mod.__file__).read()
+    assert 'fact="DOFACT"' in src
+
+
+# --------------------------------------------------------------------- #
+# solve(refine=False) honesty (satellite bugfix)
+# --------------------------------------------------------------------- #
+
+def test_unrefined_solve_converged_is_honest(rng):
+    a, _ = _pair(rng)
+    b = rng.standard_normal(a.ncols)
+    s = GESPSolver(a, cache=False)
+    rep = s.solve(b, refine=False)
+    assert rep.converged == (rep.berr <= s.options.refine_eps)
+    assert rep.berr_history == [rep.berr]
+    # with an impossible target the same solve must report False
+    strict = dataclasses.replace(s.options, refine_eps=0.0)
+    s2 = GESPSolver(a, strict, cache=False)
+    rep2 = s2.solve(b, refine=False)
+    assert rep2.berr > 0.0
+    assert not rep2.converged
+
+
+def test_unrefined_dist_solve_converged_is_honest(rng):
+    a, _ = _pair(rng, n=30)
+    b = rng.standard_normal(a.ncols)
+    opts = GESPOptions(refine_eps=0.0)
+    s = DistributedGESPSolver(a, nprocs=4, options=opts, cache=False)
+    rep = s.solve(b, refine=False)
+    assert not rep.converged
+    assert rep.berr_history == [rep.berr]
+
+
+def test_figure3_steps_property(rng):
+    a, _ = _pair(rng)
+    b = rng.standard_normal(a.ncols)
+    rep = GESPSolver(a, cache=False).solve(b)
+    assert rep.figure3_steps == rep.refine_steps + 1
+
+    from repro.solve.refine import RefinementResult
+
+    r = RefinementResult(x=np.zeros(1), berr=0.0, steps=2)
+    assert r.figure3_steps == 3
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def test_cli_refactor_sweep(capsys):
+    from repro.__main__ import main
+
+    assert main(["solve", "cfd01", "--refactor-sweep", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "refactor sweep   : 2 iterations" in out
+    assert "SAME_PATTERN_SAME_ROWPERM" in out
+    assert "speedup" in out
+
+
+def test_cli_fact_flag(capsys):
+    from repro.__main__ import main
+
+    assert main(["--trace", "solve", "cfd01",
+                 "--fact", "SAME_PATTERN"]) == 0
+    out = capsys.readouterr().out
+    assert "backward error" in out

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Seeded refactorization perf trajectory -> BENCH_refactor.json.
+"""Seeded perf trajectories -> schema-versioned BENCH_*.json records.
 
-Runs the same trajectory as ``benchmarks/bench_refactor.py`` (cold
-factorization of one testbed matrix, then K same-pattern warm
+Default mode runs the same trajectory as ``benchmarks/bench_refactor.py``
+(cold factorization of one testbed matrix, then K same-pattern warm
 refactorizations through ``GESPSolver.refactor``) and writes the result
 as a schema-versioned JSON record so successive sessions can track the
 fast path's speedup over time:
@@ -22,9 +22,27 @@ Schema ``bench_refactor/v1``::
       "reuse": {"hits": ..., "misses": ...}
     }
 
-The acceptance floor (warm >= 1.3x faster than cold) is asserted here as
-well as in the benchmark, so the JSON never records a regressed run
-without the exit status saying so.
+``--bench kernels`` instead replays the dense-op trace of a supernodal
+factorization through both ``repro.kernels`` backends (the same
+comparison as ``benchmarks/bench_kernels.py``) and writes
+``BENCH_kernels.json``:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --bench kernels
+
+Schema ``bench_kernels/v1``::
+
+    {
+      "schema": "bench_kernels/v1",
+      "rounds": ...,
+      "rows": [{"matrix", "n", "ops", "reference_seconds",
+                "vectorized_seconds", "speedup"}, ...],
+      "speedup": ...,            # of the largest (last) workload
+      "speedup_floor": 1.5
+    }
+
+The acceptance floors (warm >= 1.3x cold; vectorized >= 1.5x reference)
+are asserted here as well as in the benchmarks, so the JSON never
+records a regressed run without the exit status saying so.
 """
 
 import argparse
@@ -37,18 +55,7 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 sys.path.insert(0, str(ROOT / "src"))
 
 
-def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--matrix", default="cfd06",
-                    help="testbed matrix name (default: cfd06)")
-    ap.add_argument("--sweeps", type=int, default=5,
-                    help="warm refactorizations after the cold factor")
-    ap.add_argument("--seed", type=int, default=20260806)
-    ap.add_argument("--out", default=str(ROOT / "BENCH_refactor.json"),
-                    help="output path (default: repo-root "
-                         "BENCH_refactor.json)")
-    args = ap.parse_args(argv)
-
+def run_refactor(args):
     from bench_refactor import SPEEDUP_FLOOR, refactor_trajectory
 
     a, rows, counters = refactor_trajectory(name=args.matrix,
@@ -71,7 +78,7 @@ def main(argv=None):
         "reuse": {"hits": counters.get("factor.reuse_hits", 0),
                   "misses": counters.get("factor.reuse_misses", 0)},
     }
-    out = pathlib.Path(args.out)
+    out = pathlib.Path(args.out or (ROOT / "BENCH_refactor.json"))
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"{args.matrix}: cold {cold:.3f}s, warm best {warm:.3f}s "
           f"-> {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)")
@@ -81,6 +88,56 @@ def main(argv=None):
               file=sys.stderr)
         return 1
     return 0
+
+
+def run_kernels(args):
+    from bench_kernels import SPEEDUP_FLOOR, kernel_comparison
+
+    rows = kernel_comparison(rounds=args.rounds)
+    speedup = rows[-1]["speedup"]
+    record = {
+        "schema": "bench_kernels/v1",
+        "rounds": args.rounds,
+        "rows": rows,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    out = pathlib.Path(args.out or (ROOT / "BENCH_kernels.json"))
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    for r in rows:
+        print(f"{r['matrix']}: reference {r['reference_seconds']:.3f}s, "
+              f"vectorized {r['vectorized_seconds']:.3f}s "
+              f"-> {r['speedup']:.2f}x")
+    print(f"written: {out}")
+    if speedup < SPEEDUP_FLOOR:
+        print("FAIL: vectorized backend below the speedup floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", choices=("refactor", "kernels"),
+                    default="refactor",
+                    help="which trajectory to run (default: refactor)")
+    ap.add_argument("--matrix", default="cfd06",
+                    help="testbed matrix name (default: cfd06; "
+                         "refactor mode only)")
+    ap.add_argument("--sweeps", type=int, default=5,
+                    help="warm refactorizations after the cold factor "
+                         "(refactor mode only)")
+    ap.add_argument("--rounds", type=int, default=5,
+                    help="interleaved replay rounds per backend "
+                         "(kernels mode only)")
+    ap.add_argument("--seed", type=int, default=20260806)
+    ap.add_argument("--out", default=None,
+                    help="output path (default: repo-root "
+                         "BENCH_<bench>.json)")
+    args = ap.parse_args(argv)
+    if args.bench == "kernels":
+        return run_kernels(args)
+    return run_refactor(args)
 
 
 if __name__ == "__main__":

@@ -62,6 +62,7 @@ def cmd_solve(args):
         replace_tiny_pivots=not args.no_pivot_replacement,
         extra_precision_residual=args.extra_precision,
         fact=args.fact,
+        kernel_backend=args.kernel_backend,
     )
     if args.refactor_sweep:
         return _refactor_sweep(a, b, opts, args)
@@ -238,17 +239,20 @@ def cmd_analyze(args):
 def cmd_scaling(args):
     from repro.analysis import Table
     from repro.dmem import MachineModel
+    from repro.driver import GESPOptions
     from repro.driver.dist_driver import DistributedGESPSolver
 
     a = _load_or_testbed(args.matrix)
     b = a @ np.ones(a.ncols)
     machine = MachineModel.scaled_t3e()
+    opts = GESPOptions(symbolic_method="symmetrized",
+                       kernel_backend=args.kernel_backend)
     t = Table(f"Simulated scaling: {args.matrix} (n={a.ncols})",
               ["P", "grid", "factor(ms)", "Mflops", "solve(ms)", "B",
                "comm%"])
     for p in args.procs:
         s = DistributedGESPSolver(a, nprocs=p, machine=machine,
-                                  relax_size=16,
+                                  options=opts, relax_size=16,
                                   max_block_size=args.max_block_size)
         run = s.factorize()
         sol = s.solve_distributed(b)
@@ -334,6 +338,10 @@ def main(argv=None):
                    help="pattern-reuse mode: consult the factorization "
                         "cache for a same-pattern plan instead of a cold "
                         "analysis (see docs/REFACTORIZATION.md)")
+    p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                   help="dense-kernel backend ('reference', 'vectorized', "
+                        "...); default: $REPRO_KERNEL_BACKEND, then "
+                        "'reference' (see docs/KERNELS.md)")
     p.add_argument("--refactor-sweep", type=int, default=0, metavar="K",
                    help="factor cold once, then refactor K times with "
                         "same-pattern perturbed values through the "
@@ -353,6 +361,8 @@ def main(argv=None):
     p.add_argument("matrix")
     p.add_argument("--procs", type=int, nargs="+", default=[1, 4, 16, 64])
     p.add_argument("--max-block-size", type=int, default=24)
+    p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                   help="dense-kernel backend name (see docs/KERNELS.md)")
     p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser("iterative",

@@ -297,12 +297,14 @@ class DistributedGESPSolver:
 
     def _instance_plan(self):
         from repro.driver.factcache import PatternPlan
+        from repro.kernels import resolve_backend_name
 
         return PatternPlan(
             fingerprint=self._fingerprint, key=self._plan_key(),
             perm_r=self.perm_r, perm_c=self.perm_c, dr=self.dr, dc=self.dc,
             symbolic=self.symbolic, part=self.part, dag=self.dag,
-            schedule=self._schedule)
+            schedule=self._schedule,
+            kernel_backend=resolve_backend_name(self.options.kernel_backend))
 
     def _publish_plan(self):
         self._cache.store(self._instance_plan())
@@ -399,7 +401,8 @@ class DistributedGESPSolver:
                 fault_plan=self.fault_plan,
                 recv_timeout=self.recv_timeout,
                 recv_retries=self.recv_retries,
-                schedule=self._schedule)
+                schedule=self._schedule,
+                kernel=self.options.kernel_backend)
         return self.factor_run
 
     def solve_distributed(self, b) -> SolveRun:
@@ -418,7 +421,8 @@ class DistributedGESPSolver:
             run = pdgstrs(self.dist, c, machine=self.machine,
                           fault_plan=self.fault_plan,
                           recv_timeout=self.recv_timeout,
-                          recv_retries=self.recv_retries)
+                          recv_retries=self.recv_retries,
+                          kernel=self.options.kernel_backend)
             x = self.dc * run.x[self.perm_c]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
@@ -441,7 +445,8 @@ class DistributedGESPSolver:
             run = pdgstrs(self.dist, c, machine=self.machine,
                           fault_plan=self.fault_plan,
                           recv_timeout=self.recv_timeout,
-                          recv_retries=self.recv_retries)
+                          recv_retries=self.recv_retries,
+                          kernel=self.options.kernel_backend)
             x = self.dc[:, None] * run.x[self.perm_c, :]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
@@ -480,7 +485,7 @@ class DistributedGESPSolver:
             rhs = np.asarray(rhs, dtype=np.float64)
             c = np.empty_like(rhs)
             c[self.perm_c[self.perm_r]] = self.dr * rhs
-            z = gathered.solve(c)
+            z = gathered.solve(c, kernel=self.options.kernel_backend)
             return self.dc * z[self.perm_c]
 
         opts = self.options

@@ -79,6 +79,9 @@ class PatternPlan:
     part: object = None
     dag: object = None
     schedule: dict | None = None
+    # which dense-kernel backend the producing run used (also baked into
+    # the key, so plans never cross backends)
+    kernel_backend: str = "reference"
 
     def check(self, a: CSCMatrix, where: str = "PatternPlan"):
         """Raise :class:`PatternMismatchError` unless A matches."""
@@ -169,8 +172,11 @@ def get_factorization_cache() -> FactorizationCache:
 def serial_plan_key(fingerprint: str, opts) -> tuple:
     """Cache key for the serial :class:`~repro.driver.GESPSolver` —
     the fingerprint plus every option that shapes the plan."""
+    from repro.kernels import resolve_backend_name
+
     return ("serial", fingerprint, opts.equilibrate, opts.row_perm,
-            opts.scale_diagonal, opts.col_perm, opts.symbolic_method)
+            opts.scale_diagonal, opts.col_perm, opts.symbolic_method,
+            resolve_backend_name(opts.kernel_backend))
 
 
 def dist_plan_key(fingerprint: str, opts, grid, max_block_size: int,
@@ -178,7 +184,10 @@ def dist_plan_key(fingerprint: str, opts, grid, max_block_size: int,
                   edag_prune: bool) -> tuple:
     """Cache key for the distributed driver: the serial fields plus
     everything that shapes the partition, layout, and schedule."""
+    from repro.kernels import resolve_backend_name
+
     return ("dist", fingerprint, opts.equilibrate, opts.row_perm,
             opts.scale_diagonal, opts.col_perm,
             grid.nprow, grid.npcol, int(max_block_size), int(relax_size),
-            float(dense_tail_threshold), bool(edag_prune))
+            float(dense_tail_threshold), bool(edag_prune),
+            resolve_backend_name(opts.kernel_backend))

@@ -248,7 +248,8 @@ class GESPSolver:
                 a, sym=sym_s,
                 pivot_threshold=opts.diag_block_pivoting,
                 replace_tiny_pivots=opts.replace_tiny_pivots,
-                tiny_pivot_scale=opts.tiny_pivot_scale)
+                tiny_pivot_scale=opts.tiny_pivot_scale,
+                kernel=opts.kernel_backend)
         else:
             policy = ("column_max" if opts.aggressive_pivot_replacement
                       else "sqrt_eps")
@@ -256,7 +257,8 @@ class GESPSolver:
                 a, sym=sym,
                 replace_tiny_pivots=opts.replace_tiny_pivots,
                 tiny_pivot_scale=opts.tiny_pivot_scale,
-                pivot_policy=policy)
+                pivot_policy=policy,
+                kernel=opts.kernel_backend)
 
         # Sherman-Morrison-Woodbury wrapper when the aggressive policy
         # actually perturbed something (reset on every refactorization —
@@ -571,9 +573,12 @@ class GESPSolver:
             c = np.empty(bb.shape,
                          dtype=np.result_type(self.a.nzval, bb, np.float64))
             c[self.perm_c[self.perm_r], :] = self.dr[:, None] * bb
+            kern = self.options.kernel_backend
             z = solve_upper_csc_multi(
                 self.factors.u,
-                solve_lower_csc_multi(self.factors.l, c, unit_diagonal=True))
+                solve_lower_csc_multi(self.factors.l, c, unit_diagonal=True,
+                                      kernel=kern),
+                kernel=kern)
             return self.dc[:, None] * z[self.perm_c, :]
 
         def block_residual(xx):

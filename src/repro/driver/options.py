@@ -78,6 +78,11 @@ class GESPOptions:
         - ``"FACTORED"`` — the existing factors are up to date; only
           valid on :meth:`~repro.driver.gesp_driver.GESPSolver.refactor`
           (swap in new values and let refinement absorb the drift).
+    kernel_backend:
+        Dense-kernel backend name from :mod:`repro.kernels`
+        (``"reference"``, ``"vectorized"``, or any registered name);
+        ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
+        variable and finally the bit-exact ``"reference"`` default.
     """
 
     equilibrate: bool = True
@@ -95,8 +100,15 @@ class GESPOptions:
     extra_precision_residual: bool = False
     diag_block_pivoting: float = 0.0
     fact: str = "DOFACT"
+    kernel_backend: str | None = None
 
     def validate(self):
+        if self.kernel_backend is not None:
+            # raises the structured UnknownBackendError (a ValueError)
+            # listing the registered names
+            from repro.kernels import get_backend
+
+            get_backend(self.kernel_backend)
         if self.fact not in ("DOFACT", "SAME_PATTERN",
                              "SAME_PATTERN_SAME_ROWPERM", "FACTORED"):
             raise ValueError(f"unknown fact {self.fact!r}")

@@ -21,6 +21,10 @@ the paper considers this extension compatible with static pivoting.
 (In the distributed setting the pivot vector would be broadcast along the
 owning process row; the paper leaves that, like this whole technique, as
 future work.)
+
+Dense block math routes through :mod:`repro.kernels`;
+:func:`factor_diagonal_block_pivoted` remains as a thin wrapper over the
+``reference`` backend's ``lu_partial``.
 """
 
 from __future__ import annotations
@@ -29,11 +33,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.factor.supernodal import (
-    panel_solve_l,
-    panel_solve_u,
-    supernode_row_sets,
-)
+from repro.factor.supernodal import scatter_a_to_blocks, supernode_row_sets
+from repro.kernels import get_backend, kernel_counters, resolve_backend
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import norm1
 from repro.symbolic.fill import SymbolicLU, symbolic_lu_symmetrized
@@ -54,31 +55,11 @@ def factor_diagonal_block_pivoted(d, thresh, pivot_threshold=1.0):
     replacement still applies after the exchange (a whole zero column can
     occur).  Returns ``(piv, replaced)`` where ``piv[k]`` is the original
     local index of the row now in position ``k``.
+
+    Thin wrapper over the ``reference`` backend's ``lu_partial``.
     """
-    w = d.shape[0]
-    piv = np.arange(w, dtype=np.int64)
-    replaced = []
-    for k in range(w):
-        col = d[k:, k]
-        mloc = int(np.argmax(np.abs(col)))
-        mval = abs(col[mloc])
-        if mval > 0 and abs(d[k, k]) < pivot_threshold * mval:
-            p = k + mloc
-            if p != k:
-                d[[k, p], :] = d[[p, k], :]
-                piv[[k, p]] = piv[[p, k]]
-        pval = d[k, k]
-        if thresh > 0.0:
-            if abs(pval) < thresh:
-                pval = thresh if pval >= 0.0 else -thresh
-                d[k, k] = pval
-                replaced.append(k)
-        elif pval == 0.0:
-            raise ZeroDivisionError("zero pivot in diagonal block")
-        if k + 1 < w:
-            d[k + 1:, k] /= pval
-            d[k + 1:, k + 1:] -= np.outer(d[k + 1:, k], d[k, k + 1:])
-    return piv, replaced
+    return get_backend("reference").lu_partial(
+        d, thresh, pivot_threshold=pivot_threshold)
 
 
 @dataclass
@@ -98,6 +79,7 @@ class BlockPivotedFactors:
     piv: list
     n_tiny_pivots: int
     tiny_pivot_threshold: float
+    kernel_backend: str = "reference"
 
     @property
     def n(self):
@@ -112,34 +94,25 @@ class BlockPivotedFactors:
             out[lo:hi] = out[lo:hi][self.piv[k]]
         return out
 
-    def solve(self, b):
+    def solve(self, b, kernel=None):
         """x with ``A x = b`` (applies P, then the block substitutions)."""
+        backend = resolve_backend(
+            kernel if kernel is not None else self.kernel_backend)
         x = self.apply_row_perm(b)
         ns = self.part.nsuper
         xsup = self.part.xsup
         for k in range(ns):
             lo, hi = int(xsup[k]), int(xsup[k + 1])
-            d = self.diag[k]
-            w = hi - lo
-            for jj in range(w):
-                if jj:
-                    x[lo + jj] -= d[jj, :jj] @ x[lo:lo + jj]
+            backend.diag_solve_lower_unit(self.diag[k], x[lo:hi])
             s = self.s_rows[k]
             if s.size:
-                x[s] -= self.below[k] @ x[lo:hi]
+                x[s] -= backend.gemm_update(self.below[k], x[lo:hi])
         for k in range(ns - 1, -1, -1):
             lo, hi = int(xsup[k]), int(xsup[k + 1])
-            d = self.diag[k]
             s = self.s_rows[k]
-            rhs = x[lo:hi]
             if s.size:
-                rhs = rhs - self.right[k] @ x[s]
-            w = hi - lo
-            for jj in range(w - 1, -1, -1):
-                v = rhs[jj]
-                if jj + 1 < w:
-                    v = v - d[jj, jj + 1:] @ x[lo + jj + 1:hi]
-                x[lo + jj] = v / d[jj, jj]
+                x[lo:hi] -= backend.gemm_update(self.right[k], x[s])
+            backend.diag_solve_upper(self.diag[k], x[lo:hi])
         return x
 
     def max_l_magnitude(self):
@@ -162,7 +135,8 @@ def supernodal_factor_block_pivoting(a: CSCMatrix,
                                      relax_size: int = 0,
                                      pivot_threshold: float = 1.0,
                                      replace_tiny_pivots: bool = True,
-                                     tiny_pivot_scale: float | None = None
+                                     tiny_pivot_scale: float | None = None,
+                                     kernel=None
                                      ) -> BlockPivotedFactors:
     """Right-looking supernodal LU with within-block partial pivoting.
 
@@ -189,7 +163,7 @@ def supernodal_factor_block_pivoting(a: CSCMatrix,
     if not (0.0 < pivot_threshold <= 1.0):
         raise ValueError("pivot_threshold must be in (0, 1]")
 
-    n = a.ncols
+    backend = resolve_backend(kernel)
     ns = part.nsuper
     xsup = part.xsup
     supno = part.supno()
@@ -242,98 +216,79 @@ def supernodal_factor_block_pivoting(a: CSCMatrix,
             l_slices[bidx].append((k, start, end))
             start = end
 
-    # ---- scatter A (same as the reference kernel) ----
-    for j in range(n):
-        kj = int(supno[j])
-        jloc = j - int(xsup[kj])
-        lo, hi = a.colptr[j], a.colptr[j + 1]
-        for t in range(lo, hi):
-            i = int(a.rowind[t])
-            v = a.nzval[t]
-            ki = int(supno[i])
-            if ki == kj:
-                diag[kj][i - xsup[kj], jloc] = v
-            elif i > j:
-                pos = int(np.searchsorted(s_rows[kj], i))
-                below[kj][pos, jloc] = v
-            else:
-                pos = int(np.searchsorted(s_rows[ki], j))
-                right[ki][i - xsup[ki], pos] = v
+    scatter_a_to_blocks(a, supno, xsup, s_rows, diag, below, right)
 
     n_tiny = 0
-    for k in range(ns):
-        d = diag[k]
-        pk, replaced = factor_diagonal_block_pivoted(
-            d, thresh, pivot_threshold=pivot_threshold)
-        piv[k] = pk
-        n_tiny += len(replaced)
-        # apply the same local row permutation to block row K everywhere:
-        # the U panel of K, and the block-K rows of earlier L panels
-        if not np.array_equal(pk, np.arange(pk.size)):
-            right[k][:, :] = right[k][pk, :]
-            for (k_src, lo_s, hi_s) in l_slices[k]:
-                if k_src >= k:
-                    continue
-                # block-closed storage: the slice covers the whole block,
-                # so the local interchange is a plain row shuffle
-                assert hi_s - lo_s == pk.size
-                below[k_src][lo_s:hi_s, :] = below[k_src][lo_s:hi_s, :][pk, :]
-        s = s_rows[k]
-        if s.size == 0:
-            continue
-        b = panel_solve_l(d, below[k])
-        r = panel_solve_u(d, right[k])
-        upd = b @ r
-        # scatter-subtract (masked, as in the reference kernel)
-        tgt_sup = supno[s]
-        start = 0
-        while start < s.size:
-            j_sup = int(tgt_sup[start])
-            end = start
-            while end < s.size and tgt_sup[end] == j_sup:
-                end += 1
-            cols = s[start:end]
-            cols_loc = cols - xsup[j_sup]
-            in_diag = (s >= xsup[j_sup]) & (s < xsup[j_sup + 1])
-            if np.any(in_diag):
-                rows_loc = s[in_diag] - xsup[j_sup]
-                diag[j_sup][np.ix_(rows_loc, cols_loc)] -= upd[np.ix_(
-                    np.nonzero(in_diag)[0], np.arange(start, end))]
-            below_mask = s >= xsup[j_sup + 1]
-            if np.any(below_mask):
-                rr = s[below_mask]
-                tgt_rows = s_rows[j_sup]
-                pos = np.searchsorted(tgt_rows, rr)
-                valid = pos < tgt_rows.size
-                valid[valid] = tgt_rows[pos[valid]] == rr[valid]
-                if np.any(valid):
-                    src_rows = np.nonzero(below_mask)[0][valid]
-                    below[j_sup][np.ix_(pos[valid], cols_loc)] -= upd[np.ix_(
-                        src_rows, np.arange(start, end))]
-            above_mask = s < xsup[j_sup]
-            if np.any(above_mask):
-                rows_above = s[above_mask]
-                row_sups = supno[rows_above]
-                idx_above = np.nonzero(above_mask)[0]
-                a_start = 0
-                while a_start < rows_above.size:
-                    i_sup = int(row_sups[a_start])
-                    a_end = a_start
-                    while a_end < rows_above.size and row_sups[a_end] == i_sup:
-                        a_end += 1
-                    rloc = rows_above[a_start:a_end] - xsup[i_sup]
-                    tgt_cols = s_rows[i_sup]
-                    cpos = np.searchsorted(tgt_cols, cols)
+    with kernel_counters(backend):
+        for k in range(ns):
+            d = diag[k]
+            pk, replaced = backend.lu_partial(
+                d, thresh, pivot_threshold=pivot_threshold)
+            piv[k] = pk
+            n_tiny += len(replaced)
+            # apply the same local row permutation to block row K
+            # everywhere: the U panel of K, and the block-K rows of
+            # earlier L panels
+            if not np.array_equal(pk, np.arange(pk.size)):
+                right[k][:, :] = right[k][pk, :]
+                for (k_src, lo_s, hi_s) in l_slices[k]:
+                    if k_src >= k:
+                        continue
+                    # block-closed storage: the slice covers the whole
+                    # block, so the local interchange is a plain row shuffle
+                    assert hi_s - lo_s == pk.size
+                    below[k_src][lo_s:hi_s, :] = \
+                        below[k_src][lo_s:hi_s, :][pk, :]
+            s = s_rows[k]
+            if s.size == 0:
+                continue
+            b = backend.trsm_upper(d, below[k])
+            r = backend.trsm_lower_unit(d, right[k])
+            upd = backend.gemm_update(b, r)
+            # scatter-subtract (masked, as in the reference kernel); s is
+            # sorted, so the group of s owned by j_sup is the diagonal
+            # row set, later groups land below, earlier groups above
+            tgt_sup = supno[s]
+            cut = np.flatnonzero(tgt_sup[1:] != tgt_sup[:-1]) + 1
+            bounds = np.concatenate(([0], cut, [s.size]))
+            groups = [(int(tgt_sup[bounds[g]]), int(bounds[g]),
+                       int(bounds[g + 1])) for g in range(bounds.size - 1)]
+            for gi, (j_sup, start, end) in enumerate(groups):
+                cols = s[start:end]
+                cols_loc = cols - xsup[j_sup]
+                backend.scatter_sub(diag[j_sup], cols_loc, cols_loc, upd,
+                                    src_rows=slice(start, end),
+                                    src_cols=slice(start, end))
+                if end < s.size:
+                    rr = s[end:]
+                    tgt_rows = s_rows[j_sup]
+                    pos = np.searchsorted(tgt_rows, rr)
+                    valid = pos < tgt_rows.size
+                    valid[valid] = tgt_rows[pos[valid]] == rr[valid]
+                    if np.any(valid):
+                        backend.scatter_sub(
+                            below[j_sup], pos[valid], cols_loc, upd,
+                            src_rows=end + np.flatnonzero(valid),
+                            src_cols=slice(start, end))
+                # one scatter covers every later column group at once (see
+                # the identical restructure in supernodal.py — each
+                # right[j_sup] element gets exactly one subtraction per
+                # source supernode K, so batching is bit-identical)
+                if end < s.size:
+                    cols_after = s[end:]
+                    tgt_cols = s_rows[j_sup]
+                    cpos = np.searchsorted(tgt_cols, cols_after)
                     cvalid = cpos < tgt_cols.size
-                    cvalid[cvalid] = tgt_cols[cpos[cvalid]] == cols[cvalid]
+                    cvalid[cvalid] = \
+                        tgt_cols[cpos[cvalid]] == cols_after[cvalid]
                     if np.any(cvalid):
-                        src_cols = np.arange(start, end)[cvalid]
-                        right[i_sup][np.ix_(rloc, cpos[cvalid])] -= upd[np.ix_(
-                            idx_above[a_start:a_end], src_cols)]
-                    a_start = a_end
-            start = end
+                        backend.scatter_sub(
+                            right[j_sup], cols_loc, cpos[cvalid], upd,
+                            src_rows=slice(start, end),
+                            src_cols=end + np.flatnonzero(cvalid))
 
     return BlockPivotedFactors(part=part, s_rows=s_rows, diag=diag,
                                below=below, right=right, piv=piv,
                                n_tiny_pivots=n_tiny,
-                               tiny_pivot_threshold=thresh)
+                               tiny_pivot_threshold=thresh,
+                               kernel_backend=backend.name)

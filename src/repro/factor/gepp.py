@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import resolve_backend
 from repro.sparse.csc import CSCMatrix
 
 __all__ = ["GEPPFactors", "gepp_factor"]
@@ -50,7 +51,8 @@ class GEPPFactors:
 
 
 def gepp_factor(a: CSCMatrix, pivot_threshold: float = 1.0,
-                prefer_diagonal: bool = False) -> GEPPFactors:
+                prefer_diagonal: bool = False,
+                kernel=None) -> GEPPFactors:
     """Factor ``P A = L U`` by Gilbert-Peierls with partial pivoting.
 
     Parameters
@@ -87,7 +89,8 @@ def gepp_factor(a: CSCMatrix, pivot_threshold: float = 1.0,
 
     dtype = a.nzval.dtype
     spa = np.zeros(n, dtype=dtype)
-    flops = 0
+    backend = resolve_backend(kernel)
+    snap = backend.stats.snapshot()
 
     # adjacency of current L for the DFS: l_cols_rows[k] lists original rows
     for j in range(n):
@@ -136,8 +139,7 @@ def gepp_factor(a: CSCMatrix, pivot_threshold: float = 1.0,
             if xk != 0.0:
                 rows = l_cols_rows[k]
                 vals = l_cols_vals[k]
-                spa[rows] -= xk * vals
-                flops += 2 * len(rows)
+                backend.spa_axpy(spa, rows, vals, xk)
 
         # ---- pivot selection among non-pivotal rows in the reach ----
         cand = [v for v in visited if pinv[v] < 0]
@@ -177,14 +179,11 @@ def gepp_factor(a: CSCMatrix, pivot_threshold: float = 1.0,
         u_cols_vals.append(np.asarray(uvals, dtype=dtype)[order])
 
         # ---- gather L(:,j): non-pivotal rows (original coords), scaled ----
-        lrows, lvals = [], []
-        for v in visited:
-            if pinv[v] < 0 and spa[v] != 0.0:
-                lrows.append(v)
-                lvals.append(spa[v] / pivot_val)
-        flops += len(lrows)
-        l_cols_rows.append(np.asarray(lrows, dtype=np.int64))
-        l_cols_vals.append(np.asarray(lvals, dtype=dtype))
+        lrows = [v for v in visited if pinv[v] < 0 and spa[v] != 0.0]
+        lrows_arr = np.asarray(lrows, dtype=np.int64)
+        l_cols_rows.append(lrows_arr)
+        l_cols_vals.append(backend.col_scale(spa[lrows_arr], pivot_val)
+                           .astype(dtype, copy=False))
 
         # clear SPA
         spa[np.fromiter(visited, dtype=np.int64, count=len(visited))] = 0.0
@@ -212,4 +211,5 @@ def gepp_factor(a: CSCMatrix, pivot_threshold: float = 1.0,
 
     l = CSCMatrix(n, n, l_colptr, l_rowind, l_nzval, check=False)
     u = CSCMatrix(n, n, u_colptr, u_rowind, u_nzval, check=False)
-    return GEPPFactors(l=l, u=u, perm_r=perm_r.copy(), flops=flops)
+    return GEPPFactors(l=l, u=u, perm_r=perm_r.copy(),
+                       flops=int(backend.stats.flops_since(snap)))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import kernel_counters, resolve_backend
 from repro.obs import add, annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import norm1
@@ -54,6 +55,8 @@ class GESPFactors:
     pivot_deltas: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
     # flop count actually executed (static pattern, incl. stored zeros)
     flops: int = 0
+    # which kernel backend ran the SPA column updates
+    kernel_backend: str = "reference"
 
     def solve(self, b):
         """x with L U x = b (no permutations — the driver handles those)."""
@@ -65,24 +68,33 @@ class GESPFactors:
     def pivot_growth(self, a: CSCMatrix):
         """max_j ||U(:,j)||_inf / ||A(:,j)||_inf — the reciprocal of
         SuperLU's rpg; large values signal instability."""
-        amax = np.zeros(a.ncols)
-        for j in range(a.ncols):
-            lo, hi = a.colptr[j], a.colptr[j + 1]
-            amax[j] = np.abs(a.nzval[lo:hi]).max(initial=0.0)
-        growth = 0.0
-        for j in range(self.u.ncols):
-            lo, hi = self.u.colptr[j], self.u.colptr[j + 1]
-            umax = np.abs(self.u.nzval[lo:hi]).max(initial=0.0)
-            if amax[j] > 0:
-                growth = max(growth, umax / amax[j])
-        return growth
+        amax = _colmax(a.colptr, a.nzval, a.ncols)
+        umax = _colmax(self.u.colptr, self.u.nzval, self.u.ncols)
+        mask = amax > 0
+        if not np.any(mask):
+            return 0.0
+        return float(np.max(umax[mask] / amax[mask]))
+
+
+def _colmax(colptr, nzval, ncols):
+    """Per-column max magnitude of a CSC matrix, one ``reduceat`` sweep.
+
+    Empty columns get 0; the reduceat segments of non-empty columns span
+    any interleaved empty columns harmlessly (zero-length slices).
+    """
+    out = np.zeros(ncols)
+    nonempty = np.flatnonzero(np.diff(colptr) > 0)
+    if nonempty.size:
+        out[nonempty] = np.maximum.reduceat(np.abs(nzval), colptr[nonempty])
+    return out
 
 
 def gesp_factor(a: CSCMatrix, sym: SymbolicLU | None = None,
                 replace_tiny_pivots: bool = True,
                 tiny_pivot_scale: float | None = None,
                 symbolic_method: str = "unsymmetric",
-                pivot_policy: str = "sqrt_eps") -> GESPFactors:
+                pivot_policy: str = "sqrt_eps",
+                kernel=None) -> GESPFactors:
     """Factor ``A = L U`` with diagonal pivots on the static pattern.
 
     Parameters
@@ -111,18 +123,21 @@ def gesp_factor(a: CSCMatrix, sym: SymbolicLU | None = None,
     ZeroDivisionError
         On an exactly zero pivot when ``replace_tiny_pivots`` is off.
     """
-    with trace("factor/gesp", pivot_policy=pivot_policy):
+    backend = resolve_backend(kernel)
+    with trace("factor/gesp", pivot_policy=pivot_policy), \
+            kernel_counters(backend):
         factors = _gesp_factor(a, sym, replace_tiny_pivots,
                                tiny_pivot_scale, symbolic_method,
-                               pivot_policy)
+                               pivot_policy, backend)
         add("factor.flops", factors.flops)
         add("factor.tiny_pivots", factors.n_tiny_pivots)
-        annotate(tiny_pivot_threshold=factors.tiny_pivot_threshold)
+        annotate(tiny_pivot_threshold=factors.tiny_pivot_threshold,
+                 kernel_backend=backend.name)
         return factors
 
 
 def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
-                 symbolic_method, pivot_policy) -> GESPFactors:
+                 symbolic_method, pivot_policy, backend) -> GESPFactors:
     if a.nrows != a.ncols:
         raise ValueError("gesp_factor requires a square matrix")
     n = a.ncols
@@ -158,7 +173,7 @@ def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
         raise ValueError(f"unknown pivot_policy {pivot_policy!r}")
 
     spa = np.zeros(n, dtype=dtype)
-    flops = 0
+    snap = backend.stats.snapshot()
     n_tiny = 0
     perturbed = []
     deltas = []
@@ -178,8 +193,7 @@ def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
                 llo, lhi = l_colptr[k], l_colptr[k + 1]
                 # skip the unit diagonal at position llo
                 rows = l_rowind[llo + 1:lhi]
-                spa[rows] -= xk * lval[llo + 1:lhi]
-                flops += 2 * rows.size
+                backend.spa_axpy(spa, rows, lval[llo + 1:lhi], xk)
         # pivot
         pivot = spa[j]
         if replace_tiny_pivots:
@@ -213,9 +227,8 @@ def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
         lrows = l_rowind[llo:lhi]
         vals = spa[lrows]
         vals[0] = 1.0                      # unit diagonal of L
-        vals[1:] = vals[1:] / pivot        # L(i,j) = x_i / u_jj
+        vals[1:] = backend.col_scale(vals[1:], pivot)  # L(i,j) = x_i / u_jj
         lval[llo:lhi] = vals
-        flops += lrows.size - 1
 
         # clear the SPA entries we touched (original + fill)
         spa[lrows] = 0.0
@@ -228,7 +241,8 @@ def _gesp_factor(a, sym, replace_tiny_pivots, tiny_pivot_scale,
                        tiny_pivot_threshold=thresh,
                        perturbed_columns=np.array(perturbed, dtype=np.int64),
                        pivot_deltas=np.array(deltas, dtype=dtype),
-                       flops=flops)
+                       flops=int(backend.stats.flops_since(snap)),
+                       kernel_backend=backend.name)
 
 
 def _transpose_pattern(rowptr, colind, n):

@@ -19,9 +19,12 @@ structure is what gives supernodal codes their Mflop rate; TWOTONE's 2.4-
 column average supernode is why the paper's Table 5 shows it performing
 poorly.
 
-The three block kernels (:func:`factor_diagonal_block`,
-:func:`panel_solve_l`, :func:`panel_solve_u`) are shared with the
-distributed factorization.
+The dense block operations (diagonal LU, panel solves, GEMM + scatter)
+are routed through the pluggable kernel layer (:mod:`repro.kernels`);
+pass ``kernel="vectorized"`` (or set ``REPRO_KERNEL_BACKEND``) to run
+the LAPACK-backed panels.  :func:`factor_diagonal_block`,
+:func:`panel_solve_l` and :func:`panel_solve_u` remain as thin wrappers
+over the ``reference`` backend for compatibility.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import get_backend, kernel_counters, resolve_backend
 from repro.obs import add, annotate, trace
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import norm1
@@ -43,13 +47,14 @@ __all__ = [
     "panel_solve_l",
     "panel_solve_u",
     "supernode_row_sets",
+    "scatter_a_to_blocks",
 ]
 
 _EPS = float(np.finfo(np.float64).eps)
 
 
 # --------------------------------------------------------------------- #
-# dense block kernels (shared with pdgstrf)
+# compatibility wrappers over the reference kernel backend
 # --------------------------------------------------------------------- #
 
 def factor_diagonal_block(d, thresh):
@@ -61,47 +66,28 @@ def factor_diagonal_block(d, thresh):
     ``thresh=0`` to disable replacement (then a zero pivot raises).
 
     Returns the list of local pivot indices that were replaced.
+
+    Thin wrapper over the ``reference`` backend's ``lu_nopivot``.
     """
-    w = d.shape[0]
-    replaced = []
-    for k in range(w):
-        p = d[k, k]
-        if thresh > 0.0:
-            if abs(p) < thresh:
-                p = thresh if p >= 0.0 else -thresh
-                d[k, k] = p
-                replaced.append(k)
-        elif p == 0.0:
-            raise ZeroDivisionError("zero pivot in diagonal block")
-        if k + 1 < w:
-            d[k + 1:, k] /= p
-            d[k + 1:, k + 1:] -= np.outer(d[k + 1:, k], d[k, k + 1:])
-    return replaced
+    return get_backend("reference").lu_nopivot(d, thresh)
 
 
 def panel_solve_l(d, b):
     """L panel: solve ``X · U_kk = B`` in place (B: rows × w).
 
     ``d`` is the packed diagonal factor; only its upper triangle (U_kk)
-    is referenced.  Column-sweep substitution, vectorized over rows.
+    is referenced.  Thin wrapper over the ``reference`` backend.
     """
-    w = d.shape[0]
-    for k in range(w):
-        if k:
-            b[:, k] -= b[:, :k] @ d[:k, k]
-        b[:, k] /= d[k, k]
-    return b
+    return get_backend("reference").trsm_upper(d, b)
 
 
 def panel_solve_u(d, r):
     """U panel: solve ``L_kk · X = R`` in place (R: w × cols).
 
     Only the strictly-lower triangle of ``d`` (unit L_kk) is referenced.
+    Thin wrapper over the ``reference`` backend.
     """
-    w = d.shape[0]
-    for k in range(1, w):
-        r[k, :] -= d[k, :k] @ r[:k, :]
-    return r
+    return get_backend("reference").trsm_lower_unit(d, r)
 
 
 # --------------------------------------------------------------------- #
@@ -126,6 +112,48 @@ def supernode_row_sets(sym: SymbolicLU, part: SupernodePartition):
     return out
 
 
+def scatter_a_to_blocks(a, supno, xsup, s_rows, diag, below, right):
+    """Scatter A's nonzeros into the packed supernodal block storage.
+
+    Batched per target supernode: entries are classified (diagonal block
+    / below panel / right panel) with whole-array mask arithmetic, grouped
+    by owner via one stable argsort, and placed with one ``searchsorted``
+    plus one fancy assignment per group — replacing the historical
+    per-nonzero Python loop.
+    """
+    n = a.ncols
+    colj = np.repeat(np.arange(n, dtype=np.int64), np.diff(a.colptr))
+    rows = np.asarray(a.rowind, dtype=np.int64)
+    vals = a.nzval
+    ki = supno[rows]
+    kj = supno[colj]
+    dmask = ki == kj
+    lmask = (~dmask) & (rows > colj)
+    umask = ~(dmask | lmask)
+
+    def _by_owner(mask, owner):
+        idx = np.flatnonzero(mask)
+        if not idx.size:
+            return
+        kk = owner[idx]
+        order = np.argsort(kk, kind="stable")
+        idx = idx[order]
+        kk = kk[order]
+        cut = np.flatnonzero(kk[1:] != kk[:-1]) + 1
+        for gs, ge in zip(np.concatenate(([0], cut)),
+                          np.concatenate((cut, [idx.size]))):
+            yield int(kk[gs]), idx[gs:ge]
+
+    for k, sel in _by_owner(dmask, kj):
+        diag[k][rows[sel] - xsup[k], colj[sel] - xsup[k]] = vals[sel]
+    for k, sel in _by_owner(lmask, kj):
+        pos = np.searchsorted(s_rows[k], rows[sel])
+        below[k][pos, colj[sel] - xsup[k]] = vals[sel]
+    for k, sel in _by_owner(umask, ki):
+        pos = np.searchsorted(s_rows[k], colj[sel])
+        right[k][rows[sel] - xsup[k], pos] = vals[sel]
+
+
 @dataclass
 class SupernodalFactors:
     """Packed supernodal factors.
@@ -136,6 +164,9 @@ class SupernodalFactors:
     - ``diag[K]`` — (w×w) packed diagonal factor (L unit-lower + U upper);
     - ``below[K]`` — (|S|×w) panel of L(S_K, K);
     - ``right[K]`` — (w×|S|) panel of U(K, S_K).
+
+    ``kernel_backend`` records which backend produced the factors; the
+    solve path defaults to the same backend.
     """
 
     part: SupernodePartition
@@ -146,6 +177,7 @@ class SupernodalFactors:
     n_tiny_pivots: int
     tiny_pivot_threshold: float
     flops: int
+    kernel_backend: str = "reference"
 
     @property
     def n(self):
@@ -188,36 +220,31 @@ class SupernodalFactors:
                                          np.array(uv)), sum_duplicates=False)
         return l, u
 
-    def solve(self, b):
-        """x with L U x = b, block forward then block back substitution."""
+    def solve(self, b, kernel=None):
+        """x with L U x = b, block forward then block back substitution.
+
+        ``kernel`` selects the dense backend for the diagonal solves and
+        block products; default is the backend that built the factors.
+        """
+        backend = resolve_backend(
+            kernel if kernel is not None else self.kernel_backend)
         x = np.array(b, dtype=np.float64, copy=True)
         ns = self.part.nsuper
         xsup = self.part.xsup
         # forward: L y = b
         for k in range(ns):
             lo, hi = int(xsup[k]), int(xsup[k + 1])
-            d = self.diag[k]
-            w = hi - lo
-            for jj in range(w):
-                if jj:
-                    x[lo + jj] -= d[jj, :jj] @ x[lo:lo + jj]
+            backend.diag_solve_lower_unit(self.diag[k], x[lo:hi])
             s = self.s_rows[k]
             if s.size:
-                x[s] -= self.below[k] @ x[lo:hi]
+                x[s] -= backend.gemm_update(self.below[k], x[lo:hi])
         # back: U x = y
         for k in range(ns - 1, -1, -1):
             lo, hi = int(xsup[k]), int(xsup[k + 1])
-            d = self.diag[k]
             s = self.s_rows[k]
-            rhs = x[lo:hi]
             if s.size:
-                rhs = rhs - self.right[k] @ x[s]
-            w = hi - lo
-            for jj in range(w - 1, -1, -1):
-                v = rhs[jj]
-                if jj + 1 < w:
-                    v = v - d[jj, jj + 1:] @ x[lo + jj + 1:hi]
-                x[lo + jj] = v / d[jj, jj]
+                x[lo:hi] -= backend.gemm_update(self.right[k], x[s])
+            backend.diag_solve_upper(self.diag[k], x[lo:hi])
         return x
 
 
@@ -226,24 +253,30 @@ def supernodal_factor(a: CSCMatrix,
                       part: SupernodePartition | None = None,
                       max_block_size: int = 24,
                       replace_tiny_pivots: bool = True,
-                      tiny_pivot_scale: float | None = None) -> SupernodalFactors:
+                      tiny_pivot_scale: float | None = None,
+                      kernel=None) -> SupernodalFactors:
     """Blocked right-looking GESP factorization (paper Figure 8, serial).
 
     Numerically equivalent to :func:`repro.factor.gesp.gesp_factor` run on
-    the symmetrized pattern — the tests assert exactly that.
+    the symmetrized pattern — the tests assert exactly that.  ``kernel``
+    selects the dense backend (name, instance, or ``None`` for the
+    environment/default resolution).
     """
-    with trace("factor/supernodal"):
+    backend = resolve_backend(kernel)
+    with trace("factor/supernodal"), kernel_counters(backend):
         factors = _supernodal_factor(a, sym, part, max_block_size,
-                                     replace_tiny_pivots, tiny_pivot_scale)
+                                     replace_tiny_pivots, tiny_pivot_scale,
+                                     backend)
         add("factor.flops", factors.flops)
         add("factor.tiny_pivots", factors.n_tiny_pivots)
         annotate(nsuper=factors.part.nsuper,
-                 tiny_pivot_threshold=factors.tiny_pivot_threshold)
+                 tiny_pivot_threshold=factors.tiny_pivot_threshold,
+                 kernel_backend=backend.name)
         return factors
 
 
 def _supernodal_factor(a, sym, part, max_block_size, replace_tiny_pivots,
-                       tiny_pivot_scale) -> SupernodalFactors:
+                       tiny_pivot_scale, backend) -> SupernodalFactors:
     if a.nrows != a.ncols:
         raise ValueError("supernodal_factor requires a square matrix")
     if sym is None:
@@ -258,114 +291,87 @@ def _supernodal_factor(a, sym, part, max_block_size, replace_tiny_pivots,
     thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
         if replace_tiny_pivots else 0.0
 
-    n = a.ncols
     ns = part.nsuper
     xsup = part.xsup
     supno = part.supno()
     s_rows = supernode_row_sets(sym, part)
 
-    # position of global row i inside s_rows[K]: computed on demand with
-    # searchsorted (s_rows are sorted)
     diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2) for k in range(ns)]
     below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])))
              for k in range(ns)]
     right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size))
              for k in range(ns)]
 
-    # ---- scatter A into the block storage ----
-    for j in range(n):
-        kj = supno[j]
-        jloc = j - xsup[kj]
-        lo, hi = a.colptr[j], a.colptr[j + 1]
-        for t in range(lo, hi):
-            i = int(a.rowind[t])
-            v = a.nzval[t]
-            ki = supno[i]
-            if ki == kj:
-                diag[kj][i - xsup[kj], jloc] = v
-            elif i > j:  # L part: row i below supernode kj
-                pos = int(np.searchsorted(s_rows[kj], i))
-                below[kj][pos, jloc] = v
-            else:        # U part: column j right of supernode ki
-                pos = int(np.searchsorted(s_rows[ki], j))
-                right[ki][i - xsup[ki], pos] = v
+    scatter_a_to_blocks(a, supno, xsup, s_rows, diag, below, right)
 
     # ---- right-looking elimination over supernodes ----
     n_tiny = 0
-    flops = 0
+    snap = backend.stats.snapshot()
     for k in range(ns):
-        w = int(xsup[k + 1] - xsup[k])
         d = diag[k]
-        replaced = factor_diagonal_block(d, thresh)
+        replaced = backend.lu_nopivot(d, thresh)
         n_tiny += len(replaced)
-        flops += 2 * w ** 3 // 3
         s = s_rows[k]
         if s.size == 0:
             continue
-        b = panel_solve_l(d, below[k])         # step (1): L(K+1:N, K)
-        r = panel_solve_u(d, right[k])         # step (2): U(K, K+1:N)
-        flops += 2 * (b.shape[0] * w * w) // 1 + 2 * (w * w * r.shape[1])
+        b = backend.trsm_upper(d, below[k])       # step (1): L(K+1:N, K)
+        r = backend.trsm_lower_unit(d, right[k])  # step (2): U(K, K+1:N)
         # step (3): rank-w update of the trailing blocks
-        upd = b @ r                            # |S| × |S| dense GEMM
-        flops += 2 * b.shape[0] * w * r.shape[1]
-        # scatter-subtract into owner supernodes, column-supernode at a time
+        upd = backend.gemm_update(b, r)           # |S| × |S| dense GEMM
+        # scatter-subtract into owner supernodes, column-supernode at a
+        # time.  s is sorted, so the rows of s owned by a supernode form
+        # one contiguous group; the rows landing in j_sup's diagonal
+        # block are exactly the group itself, rows below it are the
+        # later groups, rows above are the earlier ones.
         tgt_sup = supno[s]
-        start = 0
-        while start < s.size:
-            j_sup = int(tgt_sup[start])
-            end = start
-            while end < s.size and tgt_sup[end] == j_sup:
-                end += 1
-            cols = s[start:end]                # global columns in supernode j_sup
+        cut = np.flatnonzero(tgt_sup[1:] != tgt_sup[:-1]) + 1
+        bounds = np.concatenate(([0], cut, [s.size]))
+        groups = [(int(tgt_sup[bounds[g]]), int(bounds[g]),
+                   int(bounds[g + 1])) for g in range(bounds.size - 1)]
+        for gi, (j_sup, start, end) in enumerate(groups):
+            cols = s[start:end]            # global columns in supernode j_sup
             cols_loc = cols - xsup[j_sup]
-            # rows inside the diagonal block of j_sup
-            in_diag = (s >= xsup[j_sup]) & (s < xsup[j_sup + 1])
-            if np.any(in_diag):
-                rows_loc = s[in_diag] - xsup[j_sup]
-                diag[j_sup][np.ix_(rows_loc, cols_loc)] -= upd[np.ix_(
-                    np.nonzero(in_diag)[0], np.arange(start, end))]
+            # rows inside the diagonal block of j_sup == this group
+            backend.scatter_sub(diag[j_sup], cols_loc, cols_loc, upd,
+                                src_rows=slice(start, end),
+                                src_cols=slice(start, end))
             # rows below supernode j_sup -> its below panel.  With relaxed
             # (amalgamated) supernodes a row of S_K may be absent from
             # S_{j_sup}; the corresponding product entries are exactly zero
             # (every term has an explicitly-zero factor), so they are
             # masked out rather than scattered.
-            below_mask = s >= xsup[j_sup + 1]
-            if np.any(below_mask):
-                rr = s[below_mask]
+            if end < s.size:
+                rr = s[end:]
                 tgt_rows = s_rows[j_sup]
                 pos = np.searchsorted(tgt_rows, rr)
                 valid = (pos < tgt_rows.size)
                 valid[valid] = tgt_rows[pos[valid]] == rr[valid]
                 if np.any(valid):
-                    src_rows = np.nonzero(below_mask)[0][valid]
-                    below[j_sup][np.ix_(pos[valid], cols_loc)] -= upd[np.ix_(
-                        src_rows, np.arange(start, end))]
-            # rows *above* supernode j_sup contribute to U rows of their
-            # own supernodes: U(row-supernode, cols) — handled symmetrically
-            above_mask = s < xsup[j_sup]
-            if np.any(above_mask):
-                rows_above = s[above_mask]
-                row_sups = supno[rows_above]
-                a_start = 0
-                idx_above = np.nonzero(above_mask)[0]
-                while a_start < rows_above.size:
-                    i_sup = int(row_sups[a_start])
-                    a_end = a_start
-                    while a_end < rows_above.size and row_sups[a_end] == i_sup:
-                        a_end += 1
-                    rloc = rows_above[a_start:a_end] - xsup[i_sup]
-                    tgt_cols = s_rows[i_sup]
-                    cpos = np.searchsorted(tgt_cols, cols)
-                    cvalid = cpos < tgt_cols.size
-                    cvalid[cvalid] = tgt_cols[cpos[cvalid]] == cols[cvalid]
-                    if np.any(cvalid):
-                        src_cols = np.arange(start, end)[cvalid]
-                        right[i_sup][np.ix_(rloc, cpos[cvalid])] -= upd[np.ix_(
-                            idx_above[a_start:a_end], src_cols)]
-                    a_start = a_end
-            start = end
+                    backend.scatter_sub(below[j_sup], pos[valid], cols_loc,
+                                        upd,
+                                        src_rows=end + np.flatnonzero(valid),
+                                        src_cols=slice(start, end))
+            # columns *after* supernode j_sup land in U rows of this
+            # group's own supernode: U(j_sup, later columns).  One scatter
+            # covers every later group at once — each right[j_sup] element
+            # receives exactly one subtraction per source supernode K
+            # either way, so batching the disjoint column sets is
+            # bit-identical to scattering group by group.
+            if end < s.size:
+                cols_after = s[end:]
+                tgt_cols = s_rows[j_sup]
+                cpos = np.searchsorted(tgt_cols, cols_after)
+                cvalid = cpos < tgt_cols.size
+                cvalid[cvalid] = tgt_cols[cpos[cvalid]] == cols_after[cvalid]
+                if np.any(cvalid):
+                    backend.scatter_sub(right[j_sup], cols_loc, cpos[cvalid],
+                                        upd,
+                                        src_rows=slice(start, end),
+                                        src_cols=end + np.flatnonzero(cvalid))
 
+    flops = backend.stats.flops_since(snap)
     return SupernodalFactors(part=part, s_rows=s_rows, diag=diag,
                              below=below, right=right,
                              n_tiny_pivots=n_tiny,
-                             tiny_pivot_threshold=thresh, flops=int(flops))
+                             tiny_pivot_threshold=thresh, flops=int(flops),
+                             kernel_backend=backend.name)

@@ -1,0 +1,172 @@
+"""The ``reference`` backend: the repo's historical loops, bit for bit.
+
+Every method body here is the pre-refactor kernel moved verbatim from
+its original call site (``factor/supernodal.py``, ``factor/blockpivot.py``,
+``pdgstrs/*``, ``solve/triangular.py``), with only the flop accounting
+added.  This backend is the default: all tier-1 numerical tests (and the
+``SAME_PATTERN`` bit-identical refactorization contract) run against it,
+so its arithmetic must never change.  New performance work goes into a
+*new* backend, compared against this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    KernelBackend,
+    _as_submatrix,
+    gemm_flops,
+    lu_flops,
+    trsm_flops,
+)
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Pure-Python/NumPy loops — the numerical ground truth."""
+
+    name = "reference"
+
+    # ---- factorization kernels -------------------------------------- #
+
+    def lu_nopivot(self, d, thresh):
+        w = d.shape[0]
+        replaced = []
+        for k in range(w):
+            p = d[k, k]
+            if thresh > 0.0:
+                if abs(p) < thresh:
+                    p = thresh if p >= 0.0 else -thresh
+                    d[k, k] = p
+                    replaced.append(k)
+            elif p == 0.0:
+                raise ZeroDivisionError("zero pivot in diagonal block")
+            if k + 1 < w:
+                d[k + 1:, k] /= p
+                d[k + 1:, k + 1:] -= np.outer(d[k + 1:, k], d[k, k + 1:])
+        st = self.stats
+        st.lu_calls += 1
+        st.lu_flops += lu_flops(w)
+        return replaced
+
+    def lu_partial(self, d, thresh, pivot_threshold=1.0):
+        w = d.shape[0]
+        piv = np.arange(w, dtype=np.int64)
+        replaced = []
+        for k in range(w):
+            col = d[k:, k]
+            mloc = int(np.argmax(np.abs(col)))
+            mval = abs(col[mloc])
+            if mval > 0 and abs(d[k, k]) < pivot_threshold * mval:
+                p = k + mloc
+                if p != k:
+                    d[[k, p], :] = d[[p, k], :]
+                    piv[[k, p]] = piv[[p, k]]
+            pval = d[k, k]
+            if thresh > 0.0:
+                if abs(pval) < thresh:
+                    pval = thresh if pval >= 0.0 else -thresh
+                    d[k, k] = pval
+                    replaced.append(k)
+            elif pval == 0.0:
+                raise ZeroDivisionError("zero pivot in diagonal block")
+            if k + 1 < w:
+                d[k + 1:, k] /= pval
+                d[k + 1:, k + 1:] -= np.outer(d[k + 1:, k], d[k, k + 1:])
+        st = self.stats
+        st.lu_calls += 1
+        st.lu_flops += lu_flops(w)
+        return piv, replaced
+
+    def trsm_upper(self, d, b):
+        w = d.shape[0]
+        for k in range(w):
+            if k:
+                b[:, k] -= b[:, :k] @ d[:k, k]
+            b[:, k] /= d[k, k]
+        st = self.stats
+        st.trsm_calls += 1
+        st.trsm_flops += trsm_flops(w, b.shape[0])
+        return b
+
+    def trsm_lower_unit(self, d, r):
+        w = d.shape[0]
+        for k in range(1, w):
+            r[k, :] -= d[k, :k] @ r[:k, :]
+        st = self.stats
+        st.trsm_calls += 1
+        st.trsm_flops += trsm_flops(w, r.shape[1])
+        return r
+
+    def gemm_update(self, l, u):
+        st = self.stats
+        st.gemm_calls += 1
+        if u.ndim == 1:
+            st.gemm_flops += gemm_flops(l.shape[0], l.shape[1], 1)
+        else:
+            st.gemm_flops += gemm_flops(l.shape[0], l.shape[1], u.shape[1])
+        return l @ u
+
+    def scatter_sub(self, tgt, rows, cols, src, src_rows=None,
+                    src_cols=None):
+        self.stats.scatter_calls += 1
+        tgt[np.ix_(rows, cols)] -= _as_submatrix(src, src_rows, src_cols)
+
+    # ---- SPA kernels -------------------------------------------------- #
+
+    def spa_axpy(self, spa, rows, vals, xk):
+        spa[rows] -= xk * vals
+        self.stats.axpy_flops += 2 * len(rows)
+
+    def col_scale(self, vals, pivot):
+        self.stats.axpy_flops += len(vals)
+        return vals / pivot
+
+    # ---- triangular-solve kernels ------------------------------------ #
+
+    def diag_solve_lower_unit(self, d, x):
+        w = d.shape[0]
+        for jj in range(w):
+            if jj:
+                x[jj] -= d[jj, :jj] @ x[:jj]
+        nrhs = 1 if x.ndim == 1 else x.shape[1]
+        self.stats.solve_flops += w * w * nrhs
+        return x
+
+    def diag_solve_upper(self, d, x):
+        w = d.shape[0]
+        for jj in range(w - 1, -1, -1):
+            if jj + 1 < w:
+                x[jj] -= d[jj, jj + 1:] @ x[jj + 1:]
+            x[jj] /= d[jj, jj]
+        nrhs = 1 if x.ndim == 1 else x.shape[1]
+        self.stats.solve_flops += w * w * nrhs
+        return x
+
+    def csc_lower_multi(self, colptr, rowind, nzval, x, unit_diagonal):
+        n = x.shape[0]
+        for j in range(n):
+            lo, hi = colptr[j], colptr[j + 1]
+            if lo == hi or rowind[lo] != j:
+                raise ZeroDivisionError(f"missing diagonal in L column {j}")
+            if not unit_diagonal:
+                x[j, :] /= nzval[lo]
+            if hi > lo + 1:
+                x[rowind[lo + 1:hi], :] -= np.outer(nzval[lo + 1:hi], x[j, :])
+        self.stats.solve_flops += 2 * (colptr[-1] - n) * x.shape[1]
+        return x
+
+    def csc_upper_multi(self, colptr, rowind, nzval, x):
+        n = x.shape[0]
+        for j in range(n - 1, -1, -1):
+            lo, hi = colptr[j], colptr[j + 1]
+            if lo == hi or rowind[hi - 1] != j:
+                raise ZeroDivisionError(f"missing diagonal in U column {j}")
+            x[j, :] /= nzval[hi - 1]
+            if hi - 1 > lo:
+                x[rowind[lo:hi - 1], :] -= np.outer(nzval[lo:hi - 1], x[j, :])
+        self.stats.solve_flops += 2 * (colptr[-1] - n) * x.shape[1] \
+            + n * x.shape[1]
+        return x

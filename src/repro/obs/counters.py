@@ -120,6 +120,27 @@ COUNTERS = (
         "delivering a message (each retry of recv_with_retry counts "
         "once)."),
     CounterSpec(
+        "kernel.lu_calls", "call",
+        "repro/kernels/__init__.py",
+        "Dense diagonal-block LU factorizations executed by the active "
+        "kernel backend (lu_nopivot + lu_partial), emitted by the "
+        "kernel_counters context around each factorization."),
+    CounterSpec(
+        "kernel.trsm_calls", "call",
+        "repro/kernels/__init__.py",
+        "Dense triangular panel solves executed by the active kernel "
+        "backend (trsm_upper + trsm_lower_unit)."),
+    CounterSpec(
+        "kernel.gemm_calls", "call",
+        "repro/kernels/__init__.py",
+        "Dense rank-b update products (gemm_update) executed by the "
+        "active kernel backend."),
+    CounterSpec(
+        "kernel.gemm_flops", "flop",
+        "repro/kernels/__init__.py",
+        "Flops of the gemm_update products alone (2·m·k·n per call) — "
+        "the Schur-complement share of factor.flops."),
+    CounterSpec(
         "recovery.attempts", "rung",
         "repro/recovery/ladder.py",
         "Recovery-ladder rungs attempted (the baseline GESP solve "

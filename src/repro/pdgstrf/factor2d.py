@@ -31,10 +31,12 @@ from repro.dmem.simulator import SimulationResult, simulate
 # the testbed's scale, so it only ever fires when the machine stalls
 DEFAULT_RECV_TIMEOUT = 1.0
 DEFAULT_RECV_RETRIES = 2
-from repro.factor.supernodal import (
-    factor_diagonal_block,
-    panel_solve_l,
-    panel_solve_u,
+from repro.kernels import (
+    gemm_flops,
+    kernel_counters,
+    lu_flops,
+    resolve_backend,
+    trsm_flops,
 )
 from repro.obs import add, annotate, trace
 from repro.symbolic.edag import BlockDAG
@@ -76,7 +78,8 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
             fault_plan=None,
             recv_timeout: float | None = None,
             recv_retries: int = DEFAULT_RECV_RETRIES,
-            schedule: dict | None = None) -> FactorizationRun:
+            schedule: dict | None = None,
+            kernel=None) -> FactorizationRun:
     """Factor the distributed matrix in place (values in ``dist`` become
     the L and U factors).
 
@@ -109,8 +112,13 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
         passes it to every refactorization, which is exactly the
         amortization the paper's static-pivoting design enables.
         Computed here when omitted.
+    kernel:
+        Dense-kernel backend selector (name, instance, or ``None`` for
+        the ``REPRO_KERNEL_BACKEND``/default resolution); every rank's
+        dense block math routes through it.
     """
     machine = machine or MachineModel()
+    backend = resolve_backend(kernel)
     if tiny_pivot_scale is None:
         tiny_pivot_scale = float(np.sqrt(np.finfo(np.float64).eps))
     thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
@@ -118,18 +126,19 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
     if recv_timeout is None and fault_plan is not None:
         recv_timeout = DEFAULT_RECV_TIMEOUT
 
-    with trace("factor/pdgstrf", pipeline=pipeline, edag_prune=edag_prune):
+    with trace("factor/pdgstrf", pipeline=pipeline, edag_prune=edag_prune), \
+            kernel_counters(backend):
         sched = schedule if schedule is not None \
             else build_schedule(dist, dag, edag_prune)
         progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune,
-                               sched, recv_timeout, recv_retries)
+                               sched, recv_timeout, recv_retries, backend)
                  for r in range(dist.grid.size)]
         sim = simulate(progs, machine=machine, fault_plan=fault_plan)
         n_tiny = sum(sim.returns)
         add("factor.flops", sim.total_flops)
         add("factor.tiny_pivots", n_tiny)
         annotate(elapsed=sim.elapsed, nprocs=dist.grid.size,
-                 nsuper=dag.nsuper)
+                 nsuper=dag.nsuper, kernel_backend=backend.name)
     dist.n_tiny_pivots = n_tiny
     dist.tiny_pivot_threshold = thresh
     return FactorizationRun(dist=dist, sim=sim, n_tiny_pivots=n_tiny,
@@ -195,8 +204,10 @@ def build_schedule(dist, dag, edag_prune):
 
 def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
                   pipeline, edag_prune, sched,
-                  recv_timeout=None, recv_retries=DEFAULT_RECV_RETRIES):
+                  recv_timeout=None, recv_retries=DEFAULT_RECV_RETRIES,
+                  kernel=None):
     """The SPMD program of one rank (a generator for the simulator)."""
+    backend = resolve_backend(kernel)
     grid = dist.grid
     pr, pc = grid.coords(rank)
     nprow, npcol = grid.nprow, grid.npcol
@@ -222,9 +233,9 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
         my_l = need_l_all[k][pr] if pc == kc else []
         if pr == kr and pc == kc:
             d = dist.diag[rank][k]
-            replaced = factor_diagonal_block(d, thresh)
+            replaced = backend.lu_nopivot(d, thresh)
             n_tiny += len(replaced)
-            yield Compute(flops=2 * w ** 3 / 3, width=w)
+            yield Compute(flops=lu_flops(w), width=w)
             # send the packed diagonal down the column (for L panels)...
             for pr2 in sched["diag_l_dests"][k]:
                 yield Send(dest=grid.rank(pr2, kc), tag=_tag(k, _DIAG_L),
@@ -246,8 +257,8 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
             nbytes = 0
             for i_blk in my_l:
                 b = dist.lblk[rank][(i_blk, k)]
-                panel_solve_l(dloc, b)
-                flops += b.shape[0] * w * w
+                backend.trsm_upper(dloc, b)
+                flops += trsm_flops(w, b.shape[0])
                 nbytes += b.nbytes + dist.l_rows_by_block[k][i_blk].nbytes
                 panel.append((i_blk, b))
             yield Compute(flops=flops, width=w)
@@ -278,8 +289,8 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
         nbytes = 0
         for j_blk in my_u:
             u = dist.ublk[rank][(k, j_blk)]
-            panel_solve_u(dloc, u)
-            flops += w * w * u.shape[1]
+            backend.trsm_lower_unit(dloc, u)
+            flops += trsm_flops(w, u.shape[1])
             nbytes += u.nbytes + dist.u_cols_by_block[k][j_blk].nbytes
             panel.append((j_blk, u))
         yield Compute(flops=flops, width=w)
@@ -327,14 +338,15 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
         w = dist.width(k)
         rows = dist.l_rows_by_block[k][i_blk]   # global rows of L(I,K)
         cols = dist.u_cols_by_block[k][j_blk]   # global cols of U(K,J)
-        upd = lmat @ umat
+        upd = backend.gemm_update(lmat, umat)
         # With relaxed supernodes an (i, j) pair of S_K x S_K may be absent
         # from the target block's index set; those product entries are
         # exactly zero (each term has an explicitly-zero factor) and are
         # masked out — same reasoning as the serial kernel.
         if i_blk == j_blk:
             tgt = dist.diag[rank][i_blk]
-            tgt[np.ix_(rows - xsup[i_blk], cols - xsup[j_blk])] -= upd
+            backend.scatter_sub(tgt, rows - xsup[i_blk],
+                                cols - xsup[j_blk], upd)
         elif i_blk > j_blk:
             tgt = dist.lblk[rank][(i_blk, j_blk)]
             tgt_rows = dist.l_rows_by_block[j_blk][i_blk]
@@ -342,7 +354,8 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
             valid = pos < tgt_rows.size
             valid[valid] = tgt_rows[pos[valid]] == rows[valid]
             if np.any(valid):
-                tgt[np.ix_(pos[valid], cols - xsup[j_blk])] -= upd[valid, :]
+                backend.scatter_sub(tgt, pos[valid], cols - xsup[j_blk],
+                                    upd, src_rows=valid)
         else:
             tgt = dist.ublk[rank][(i_blk, j_blk)]
             tgt_cols = dist.u_cols_by_block[i_blk][j_blk]
@@ -350,8 +363,9 @@ def _rank_program(rank, dist: DistributedBlocks, dag: BlockDAG, thresh,
             valid = pos < tgt_cols.size
             valid[valid] = tgt_cols[pos[valid]] == cols[valid]
             if np.any(valid):
-                tgt[np.ix_(rows - xsup[i_blk], pos[valid])] -= upd[:, valid]
-        return 2 * rows.size * w * cols.size
+                backend.scatter_sub(tgt, rows - xsup[i_blk], pos[valid],
+                                    upd, src_cols=valid)
+        return gemm_flops(rows.size, w, cols.size)
 
     def apply_batch(k, pairs, ldata, udata):
         """All of this rank's (I,J) updates for iteration k, one Compute."""

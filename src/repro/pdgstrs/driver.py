@@ -64,19 +64,22 @@ class SolveRun:
 
 
 def pdgstrs(dist: DistributedBlocks, b, machine=None,
-            fault_plan=None, recv_timeout=None, recv_retries=2) -> SolveRun:
+            fault_plan=None, recv_timeout=None, recv_retries=2,
+            kernel=None) -> SolveRun:
     """Solve ``L U x = b`` on the factored distributed blocks."""
     with trace("solve/pdgstrs"):
         with trace("solve/lower"):
             y, low = pdgstrs_lower(dist, b, machine=machine,
                                    fault_plan=fault_plan,
                                    recv_timeout=recv_timeout,
-                                   recv_retries=recv_retries)
+                                   recv_retries=recv_retries,
+                                   kernel=kernel)
         with trace("solve/upper"):
             x, up = pdgstrs_upper(dist, y, machine=machine,
                                   fault_plan=fault_plan,
                                   recv_timeout=recv_timeout,
-                                  recv_retries=recv_retries)
+                                  recv_retries=recv_retries,
+                                  kernel=kernel)
         run = SolveRun(x=x, lower=low, upper=up)
         add("solve.flops", run.total_flops)
         return run

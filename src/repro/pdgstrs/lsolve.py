@@ -32,6 +32,7 @@ from repro.dmem.comm import (
     recv_with_retry,
 )
 from repro.dmem.distribute import DistributedBlocks
+from repro.kernels import resolve_backend
 
 __all__ = ["pdgstrs_lower", "lower_solve_programs"]
 
@@ -52,21 +53,25 @@ def _contributor_map(dist: DistributedBlocks):
 
 
 def lower_solve_programs(dist: DistributedBlocks, b,
-                         recv_timeout=None, recv_retries=2):
+                         recv_timeout=None, recv_retries=2, kernel=None):
     """Build one rank generator per process for the lower solve.
 
     Each generator returns a dict ``{K: y_K}`` of the solved subvectors
     of the supernodes whose diagonal process it is.  ``recv_timeout``
     (simulated seconds) arms the message-driven loop's receives with
     bounded-retry timeouts for running against an unreliable machine.
+    ``kernel`` selects the dense backend for the diagonal solves and
+    block products.
     """
     contrib = _contributor_map(dist)
-    return [_rank_lower(r, dist, b, contrib, recv_timeout, recv_retries)
+    return [_rank_lower(r, dist, b, contrib, recv_timeout, recv_retries,
+                        kernel)
             for r in range(dist.grid.size)]
 
 
 def pdgstrs_lower(dist: DistributedBlocks, b, machine=None,
-                  fault_plan=None, recv_timeout=None, recv_retries=2):
+                  fault_plan=None, recv_timeout=None, recv_retries=2,
+                  kernel=None):
     """Simulate the lower solve; returns ``(y, SimulationResult)``.
 
     ``b`` may be a vector (n,) or a block of right-hand sides (n, nrhs) —
@@ -80,7 +85,8 @@ def pdgstrs_lower(dist: DistributedBlocks, b, machine=None,
     if recv_timeout is None and fault_plan is not None:
         recv_timeout = DEFAULT_RECV_TIMEOUT
     b = np.asarray(b, dtype=np.float64)
-    sim = simulate(lower_solve_programs(dist, b, recv_timeout, recv_retries),
+    sim = simulate(lower_solve_programs(dist, b, recv_timeout, recv_retries,
+                                        kernel),
                    machine=machine, fault_plan=fault_plan)
     y = np.empty(b.shape)
     xsup = dist.part.xsup
@@ -91,7 +97,8 @@ def pdgstrs_lower(dist: DistributedBlocks, b, machine=None,
 
 
 def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
-                recv_timeout=None, recv_retries=2):
+                recv_timeout=None, recv_retries=2, kernel=None):
+    backend = resolve_backend(kernel)
     grid = dist.grid
     ns = dist.nsuper
     xsup = dist.part.xsup
@@ -142,9 +149,7 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         d = dist.diag[rank][k]
         w = dist.width(k)
         y = acc[k]
-        for jj in range(w):              # unit-lower solve on the diag block
-            if jj:
-                y[jj] -= d[jj, :jj] @ y[:jj]
+        backend.diag_solve_lower_unit(d, y)
         yield Compute(flops=w * w * nrhs, width=w)
         solved[k] = y
         dests = {grid.owner(int(i), k) for i in dist.l_rows_by_block[k]}
@@ -158,7 +163,7 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         for i_blk in my_lblocks.get(j, ()):
             blk = dist.lblk[rank][(i_blk, j)]
             rows = dist.l_rows_by_block[j][i_blk]
-            contribution = blk @ xj
+            contribution = backend.gemm_update(blk, xj)
             yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
                           width=blk.shape[1])
             lsum[i_blk][rows - xsup[i_blk]] += contribution

@@ -25,6 +25,7 @@ from repro.dmem.comm import (
     recv_with_retry,
 )
 from repro.dmem.distribute import DistributedBlocks
+from repro.kernels import resolve_backend
 
 __all__ = ["pdgstrs_upper", "upper_solve_programs"]
 
@@ -53,16 +54,17 @@ def _consumer_map(dist: DistributedBlocks):
 
 
 def upper_solve_programs(dist: DistributedBlocks, y,
-                         recv_timeout=None, recv_retries=2):
+                         recv_timeout=None, recv_retries=2, kernel=None):
     contrib = _contributor_map(dist)
     consumers = _consumer_map(dist)
     return [_rank_upper(r, dist, y, contrib, consumers,
-                        recv_timeout, recv_retries)
+                        recv_timeout, recv_retries, kernel)
             for r in range(dist.grid.size)]
 
 
 def pdgstrs_upper(dist: DistributedBlocks, y, machine=None,
-                  fault_plan=None, recv_timeout=None, recv_retries=2):
+                  fault_plan=None, recv_timeout=None, recv_retries=2,
+                  kernel=None):
     """Simulate the upper solve; returns ``(x, SimulationResult)``.
 
     Accepts a vector (n,) or a block (n, nrhs), like the lower solve.
@@ -73,7 +75,8 @@ def pdgstrs_upper(dist: DistributedBlocks, y, machine=None,
     if recv_timeout is None and fault_plan is not None:
         recv_timeout = DEFAULT_RECV_TIMEOUT
     y = np.asarray(y, dtype=np.float64)
-    sim = simulate(upper_solve_programs(dist, y, recv_timeout, recv_retries),
+    sim = simulate(upper_solve_programs(dist, y, recv_timeout, recv_retries,
+                                        kernel),
                    machine=machine, fault_plan=fault_plan)
     x = np.empty(y.shape)
     xsup = dist.part.xsup
@@ -84,7 +87,8 @@ def pdgstrs_upper(dist: DistributedBlocks, y, machine=None,
 
 
 def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
-                recv_timeout=None, recv_retries=2):
+                recv_timeout=None, recv_retries=2, kernel=None):
+    backend = resolve_backend(kernel)
     grid = dist.grid
     xsup = dist.part.xsup
     y = np.asarray(y, dtype=np.float64)
@@ -131,10 +135,7 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
         d = dist.diag[rank][k]
         w = dist.width(k)
         x = acc[k]
-        for jj in range(w - 1, -1, -1):  # upper solve on the diag block
-            if jj + 1 < w:
-                x[jj] -= d[jj, jj + 1:] @ x[jj + 1:]
-            x[jj] /= d[jj, jj]
+        backend.diag_solve_upper(d, x)
         yield Compute(flops=w * w * nrhs, width=w)
         solved[k] = x
         # x(K) goes down process column K mod npcol to U(·,K) owners
@@ -151,7 +152,7 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
             # all of this block's columns lie inside supernode j, by
             # construction of the per-supernode grouping
             cols = dist.u_cols_by_block[k_blk][j]
-            contribution = blk @ xj[cols - xsup[j]]
+            contribution = backend.gemm_update(blk, xj[cols - xsup[j]])
             yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
                           width=blk.shape[0])
             usum[k_blk] += contribution

@@ -104,36 +104,27 @@ def _check_multi(a, b):
     return b
 
 
-def solve_lower_csc_multi(l: CSCMatrix, b, unit_diagonal: bool = False):
+def solve_lower_csc_multi(l: CSCMatrix, b, unit_diagonal: bool = False,
+                          kernel=None):
     """X with L X = B for a block of right-hand sides (n × nrhs).
 
     One outer-product scatter per column amortizes the Python overhead
     across all right-hand sides — the reason multiple-RHS solves are so
     much cheaper per vector (the paper's closing remark on the number of
-    right-hand sides driving solve-algorithm choice).
+    right-hand sides driving solve-algorithm choice).  ``kernel`` selects
+    the dense backend running the substitution sweep.
     """
+    from repro.kernels import resolve_backend
+
     x = _check_multi(l, b)
-    colptr, rowind, nzval = l.colptr, l.rowind, l.nzval
-    for j in range(l.ncols):
-        lo, hi = colptr[j], colptr[j + 1]
-        if lo == hi or rowind[lo] != j:
-            raise ZeroDivisionError(f"missing diagonal in L column {j}")
-        if not unit_diagonal:
-            x[j, :] /= nzval[lo]
-        if hi > lo + 1:
-            x[rowind[lo + 1:hi], :] -= np.outer(nzval[lo + 1:hi], x[j, :])
-    return x
+    return resolve_backend(kernel).csc_lower_multi(
+        l.colptr, l.rowind, l.nzval, x, unit_diagonal)
 
 
-def solve_upper_csc_multi(u: CSCMatrix, b):
+def solve_upper_csc_multi(u: CSCMatrix, b, kernel=None):
     """X with U X = B for a block of right-hand sides (n × nrhs)."""
+    from repro.kernels import resolve_backend
+
     x = _check_multi(u, b)
-    colptr, rowind, nzval = u.colptr, u.rowind, u.nzval
-    for j in range(u.ncols - 1, -1, -1):
-        lo, hi = colptr[j], colptr[j + 1]
-        if lo == hi or rowind[hi - 1] != j:
-            raise ZeroDivisionError(f"missing diagonal in U column {j}")
-        x[j, :] /= nzval[hi - 1]
-        if hi - 1 > lo:
-            x[rowind[lo:hi - 1], :] -= np.outer(nzval[lo:hi - 1], x[j, :])
-    return x
+    return resolve_backend(kernel).csc_upper_multi(
+        u.colptr, u.rowind, u.nzval, x)

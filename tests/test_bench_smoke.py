@@ -1,11 +1,12 @@
-"""Tier-2 smoke of the refactorization benchmark (``-m bench_smoke``).
+"""Tier-2 smoke of the benchmark trajectories (``-m bench_smoke``).
 
 A fast (~seconds) end-to-end pass over the same machinery the full
 benchmark suite exercises: the seeded trajectory of
-``benchmarks/bench_refactor.py`` and the ``BENCH_refactor.json`` record
-written by ``scripts/bench_trajectory.py``, schema-checked so the file's
-consumers (future sessions tracking the perf trajectory) can rely on its
-shape.
+``benchmarks/bench_refactor.py``, the kernel-backend replay of
+``benchmarks/bench_kernels.py``, and the ``BENCH_*.json`` records
+written by ``scripts/bench_trajectory.py``, schema-checked so the files'
+consumers (future sessions tracking the perf trajectory) can rely on
+their shape.
 """
 
 import json
@@ -52,3 +53,20 @@ def test_bench_trajectory_script_schema(tmp_path):
                                          "berr", "steps"}
     assert rec["speedup"] >= rec["speedup_floor"] == 1.3
     assert rec["reuse"]["hits"] == 2
+
+
+def test_bench_trajectory_kernels_schema(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "bench_trajectory.py"),
+         "--bench", "kernels", "--out", str(out)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    rec = json.loads(out.read_text())
+    assert rec["schema"] == "bench_kernels/v1"
+    assert [r["matrix"] for r in rec["rows"]] == ["cfd03", "cfd06"]
+    assert set(rec["rows"][0]) == {"matrix", "n", "ops",
+                                   "reference_seconds",
+                                   "vectorized_seconds", "speedup"}
+    assert rec["speedup"] >= rec["speedup_floor"] == 1.5

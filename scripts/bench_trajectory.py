@@ -40,9 +40,31 @@ Schema ``bench_kernels/v1``::
       "speedup_floor": 1.5
     }
 
-The acceptance floors (warm >= 1.3x cold; vectorized >= 1.5x reference)
-are asserted here as well as in the benchmarks, so the JSON never
-records a regressed run without the exit status saying so.
+``--bench service`` runs the solve-service load trajectory of
+``benchmarks/bench_service.py`` (warm same-pattern burst through the
+coalescing service vs sequential per-request solves, plus a seeded
+open-loop arrival stream) and writes ``BENCH_service.json``:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --bench service
+
+Schema ``bench_service/v1``::
+
+    {
+      "schema": "bench_service/v1",
+      "matrix": "...", "n": ..., "nnz": ..., "burst": ..., "rounds": ...,
+      "seed": ...,
+      "sequential_seconds": ..., "service_seconds": ...,
+      "speedup": ..., "speedup_floor": 2.0,
+      "open_loop": {"mix", "completed", "rejected", "expired", "failed",
+                    "elapsed_seconds", "throughput_rps", "rate_rps",
+                    "p50_latency_seconds", "p99_latency_seconds",
+                    "batches", "mean_width"}
+    }
+
+The acceptance floors (warm >= 1.3x cold; vectorized >= 1.5x reference;
+coalesced burst >= 2x sequential) are asserted here as well as in the
+benchmarks, so the JSON never records a regressed run without the exit
+status saying so.
 """
 
 import argparse
@@ -116,9 +138,56 @@ def run_kernels(args):
     return 0
 
 
+def run_service(args):
+    from bench_service import (
+        SPEEDUP_FLOOR,
+        open_loop_trajectory,
+        warm_burst_comparison,
+    )
+
+    comp = warm_burst_comparison(name=args.matrix, burst=args.burst,
+                                 rounds=args.rounds, seed=args.seed)
+    loop = open_loop_trajectory(requests=args.requests, rate=args.rate,
+                                seed=args.seed)
+    record = {
+        "schema": "bench_service/v1",
+        "matrix": comp["matrix"],
+        "n": comp["n"],
+        "nnz": comp["nnz"],
+        "burst": comp["burst"],
+        "rounds": comp["rounds"],
+        "seed": args.seed,
+        "sequential_seconds": comp["sequential_seconds"],
+        "service_seconds": comp["service_seconds"],
+        "speedup": comp["speedup"],
+        "speedup_floor": SPEEDUP_FLOOR,
+        "open_loop": loop,
+    }
+    out = pathlib.Path(args.out or (ROOT / "BENCH_service.json"))
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"{comp['matrix']}: sequential {comp['sequential_seconds']:.3f}s, "
+          f"coalesced burst {comp['service_seconds']:.3f}s "
+          f"-> {comp['speedup']:.2f}x (floor {SPEEDUP_FLOOR}x)")
+    print(f"open loop: {loop['completed']} done at "
+          f"{loop['throughput_rps']:.1f}/s, p50 "
+          f"{loop['p50_latency_seconds'] * 1e3:.1f}ms, p99 "
+          f"{loop['p99_latency_seconds'] * 1e3:.1f}ms, mean batch width "
+          f"{loop['mean_width']:.2f}")
+    print(f"written: {out}")
+    if comp["speedup"] < SPEEDUP_FLOOR:
+        print("FAIL: coalesced burst below the speedup floor",
+              file=sys.stderr)
+        return 1
+    if loop["failed"] or loop["rejected"] or loop["expired"]:
+        print("FAIL: open-loop run shed or failed requests",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench", choices=("refactor", "kernels"),
+    ap.add_argument("--bench", choices=("refactor", "kernels", "service"),
                     default="refactor",
                     help="which trajectory to run (default: refactor)")
     ap.add_argument("--matrix", default="cfd06",
@@ -128,8 +197,15 @@ def main(argv=None):
                     help="warm refactorizations after the cold factor "
                          "(refactor mode only)")
     ap.add_argument("--rounds", type=int, default=5,
-                    help="interleaved replay rounds per backend "
-                         "(kernels mode only)")
+                    help="interleaved replay rounds per backend (kernels "
+                         "mode) / timed rounds per side (service mode)")
+    ap.add_argument("--burst", type=int, default=8,
+                    help="same-pattern burst width (service mode only)")
+    ap.add_argument("--requests", type=int, default=40,
+                    help="open-loop request count (service mode only)")
+    ap.add_argument("--rate", type=float, default=300.0,
+                    help="open-loop arrival rate in requests/second "
+                         "(service mode only)")
     ap.add_argument("--seed", type=int, default=20260806)
     ap.add_argument("--out", default=None,
                     help="output path (default: repo-root "
@@ -137,6 +213,8 @@ def main(argv=None):
     args = ap.parse_args(argv)
     if args.bench == "kernels":
         return run_kernels(args)
+    if args.bench == "service":
+        return run_service(args)
     return run_refactor(args)
 
 

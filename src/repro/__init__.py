@@ -39,6 +39,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.matrices`  — testbed generators and suites
 - :mod:`repro.analysis`  — metrics and table rendering
 - :mod:`repro.obs`       — tracing spans, counters, JSON run records
+- :mod:`repro.service`   — concurrent solve service: batching,
+  same-pattern coalescing, worker pool, backpressure
 
 Tracing a solve (see docs/OBSERVABILITY.md)::
 
@@ -72,6 +74,13 @@ from repro.driver.dist_driver import DistributedGESPSolver
 from repro.factor import gepp_factor, gesp_factor, supernodal_factor
 from repro.obs import RunRecord, Tracer, use_tracer
 from repro.recovery import recover_solve
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    SolveRequest,
+    SolveResponse,
+    SolveService,
+)
 from repro.solve import componentwise_backward_error, iterative_refinement
 
 __version__ = "1.0.0"
@@ -101,5 +110,10 @@ __all__ = [
     "RunRecord",
     "Tracer",
     "use_tracer",
+    "ServiceClient",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveService",
     "__version__",
 ]

@@ -8,6 +8,9 @@ Commands:
   process counts and print a Table-3-style row;
 - ``iterative``— ILU(0)-preconditioned GMRES/BiCGSTAB, optionally
   comparing with/without the MC64 step;
+- ``serve``    — run the concurrent solve service (repro.service) under
+  a synthetic open-loop client and report throughput, latency
+  percentiles, and coalescing width;
 - ``testbed``  — list the built-in testbed matrices.
 
 Matrix files may be Matrix Market (``.mtx``) or Harwell-Boeing
@@ -112,6 +115,14 @@ def cmd_solve(args):
     print(f"backward error   : {report.berr:.3e}")
     if report.recovery is not None:
         print(f"recovery path    : {' -> '.join(report.recovery.path)}")
+    from repro.obs import get_tracer
+
+    if get_tracer().enabled:
+        from repro.driver.factcache import FACTOR_CACHE
+
+        cs = FACTOR_CACHE.stats()
+        print(f"plan cache       : {cs.hits} hits, {cs.misses} misses, "
+              f"{cs.evictions} evictions ({cs.size}/{cs.maxsize} plans)")
     if report.failure is not None:
         print(f"FAILED           : {report.failure}")
         return 1
@@ -285,6 +296,61 @@ def cmd_iterative(args):
     return 0
 
 
+def cmd_serve(args):
+    """``serve``: run the concurrent solve service against a synthetic
+    open-loop client (docs/SERVICE.md)."""
+    from repro.matrices import matrix_by_name
+    from repro.service import (
+        ServiceConfig,
+        SolveService,
+        run_open_loop,
+        synthetic_workload,
+    )
+
+    matrices = {}
+    for name in args.matrices:
+        try:
+            matrices[name] = matrix_by_name(name).build()
+        except KeyError:
+            matrices[name] = _load(name)
+    cfg = ServiceConfig(max_workers=args.workers,
+                        queue_capacity=args.queue_capacity,
+                        batch_window=args.batch_window,
+                        max_batch=args.max_batch)
+    print(f"service          : {cfg.workers} workers, queue "
+          f"{cfg.queue_capacity}, batch window {cfg.batch_window * 1e3:.1f}ms,"
+          f" max batch {cfg.max_batch}")
+    print(f"pattern mix      : {', '.join(f'{k} (n={a.ncols})' for k, a in sorted(matrices.items()))}")
+    print(f"workload         : {args.requests} requests, "
+          + (f"{args.rate:.0f}/s open loop" if args.rate else "single burst")
+          + (f", {args.deadline * 1e3:.0f}ms deadline"
+             if args.deadline is not None else ""))
+    with SolveService(cfg) as svc:
+        for key, a in matrices.items():
+            svc.register_matrix(key, a)
+        workload = synthetic_workload(matrices, args.requests,
+                                      seed=args.seed)
+        res = run_open_loop(svc, workload, rate=args.rate,
+                            deadline=args.deadline)
+        stats = svc.stats()
+    s = res.summary()
+    batches = stats.get("service.batched", 0)
+    width = stats.get("service.coalesce_width", 0)
+    print(f"completed        : {s['completed']} certified "
+          f"({s['rejected']} shed, {s['expired']} expired, "
+          f"{s['failed']} failed)")
+    print(f"throughput       : {s['throughput_rps']:.1f} solves/s")
+    print(f"latency          : p50 {s['p50_latency_seconds'] * 1e3:.2f}ms  "
+          f"p99 {s['p99_latency_seconds'] * 1e3:.2f}ms")
+    if batches:
+        print(f"coalescing       : {batches} batches, mean width "
+              f"{width / batches:.2f}")
+    if stats.get("service.recovered"):
+        print(f"recovered        : {stats['service.recovered']} requests "
+              "via the recovery ladder")
+    return 0 if s["failed"] == 0 else 1
+
+
 def cmd_testbed(args):
     from repro.matrices import large_8, testbed_53
 
@@ -376,6 +442,35 @@ def main(argv=None):
     p.add_argument("--compare", action="store_true",
                    help="run both with and without the MC64 step")
     p.set_defaults(fn=cmd_iterative)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the concurrent solve service under a synthetic client")
+    p.add_argument("matrices", nargs="*", default=["cfd03"],
+                   help="testbed names or matrix files forming the "
+                        "pattern mix (default: cfd03)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic requests to issue (default: 64)")
+    p.add_argument("--rate", type=float, default=None, metavar="RPS",
+                   help="open-loop arrival rate in requests/second "
+                        "(default: submit everything as one burst)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: $REPRO_SERVICE_WORKERS, "
+                        "then min(4, cpus))")
+    p.add_argument("--queue-capacity", type=int, default=256,
+                   help="admission-queue bound; a full queue sheds load")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   metavar="SECONDS",
+                   help="coalescing window after the first queued request "
+                        "(default: 0.002)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="widest multi-RHS block per batch (default: 32)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline; requests still queued past "
+                        "it are evicted with DeadlineExceeded")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload RNG seed (default: 0)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("testbed", help="list built-in testbed matrices")
     p.set_defaults(fn=cmd_testbed)

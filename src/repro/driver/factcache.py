@@ -39,6 +39,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.obs import add
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import PatternMismatchError, pattern_fingerprint
 from repro.symbolic.fill import SymbolicLU
@@ -92,12 +93,19 @@ class PatternPlan:
 
 
 class CacheStats(NamedTuple):
-    """Snapshot of one cache's accounting."""
+    """Snapshot of one cache's accounting.
+
+    ``evictions`` counts plans dropped by the LRU bound since the last
+    ``clear()``; a warm pattern evicted under churn will cost a fresh
+    cold analysis on its next request (``factor.reuse_misses`` rises in
+    step), so a service sizing its cache watches this number.
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: int
+    evictions: int = 0
 
 
 class FactorizationCache:
@@ -117,6 +125,7 @@ class FactorizationCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def lookup(self, key: tuple) -> PatternPlan | None:
         """The plan stored under ``key``, or None (counted as a miss)."""
@@ -124,30 +133,38 @@ class FactorizationCache:
             plan = self._plans.get(key)
             if plan is None:
                 self._misses += 1
-                return None
-            self._plans.move_to_end(key)
-            self._hits += 1
-            return plan
+            else:
+                self._plans.move_to_end(key)
+                self._hits += 1
+        add("cache.hits" if plan is not None else "cache.misses", 1)
+        return plan
 
     def store(self, plan: PatternPlan) -> PatternPlan:
         """Insert (or refresh) a plan; evicts the LRU entry when full."""
+        evicted = 0
         with self._lock:
             self._plans[plan.key] = plan
             self._plans.move_to_end(plan.key)
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
-            return plan
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            add("cache.evictions", evicted)
+        return plan
 
     def clear(self):
         with self._lock:
             self._plans.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
-                              size=len(self._plans), maxsize=self.maxsize)
+                              size=len(self._plans), maxsize=self.maxsize,
+                              evictions=self._evictions)
 
     def __len__(self):
         with self._lock:

@@ -96,12 +96,23 @@ class MultiSolveResult(NamedTuple):
     ``converged`` distinguishes a certified block solve (worst-column
     berr at or below the refinement target) from stagnation — callers of
     the old 3-tuple could not tell the two apart.
+
+    ``berrs`` and ``col_converged`` carry the *per-column* picture:
+    ``berrs[t]`` is column t's componentwise backward error for the
+    returned iterate and ``col_converged[t]`` whether it met the target.
+    The scalar ``berr``/``converged`` remain the worst-case aggregates
+    (``berr == berrs.max()``, ``converged == col_converged.all()``), so
+    existing callers are unaffected; :mod:`repro.service` uses the
+    arrays to certify each batched request individually and retry only
+    the columns that lost.
     """
 
     x: np.ndarray
     berr: float
     steps: int
     converged: bool
+    berrs: np.ndarray | None = None
+    col_converged: np.ndarray | None = None
 
 
 class GESPSolver:
@@ -592,27 +603,34 @@ class GESPSolver:
                 b_block[:, t] - spmv(self.a, xx[:, t])
                 for t in range(b_block.shape[1])])
 
-        def worst_berr(xx):
-            return max(componentwise_backward_error(
+        def col_berrs(xx):
+            return np.array([componentwise_backward_error(
                 self.a, xx[:, t], b_block[:, t], extra_precision=xp)
-                for t in range(b_block.shape[1]))
+                for t in range(b_block.shape[1])])
+
+        def result(x, bv, berr, steps, converged):
+            return MultiSolveResult(
+                x=x, berr=berr, steps=steps, converged=converged,
+                berrs=bv, col_converged=bv <= opts.refine_eps)
 
         x = direct(b_block)
-        berr = worst_berr(x)
+        bv = col_berrs(x)
+        berr = float(np.max(bv)) if bv.size else 0.0
         steps = 0
         converged = bool(berr <= opts.refine_eps)
         if do_refine and not np.isfinite(berr):
             # non-finite berr cannot be refined away (see refine.py):
             # fail fast instead of compounding garbage for cap steps
-            return MultiSolveResult(x=x, berr=berr, steps=0, converged=False)
+            return result(x, bv, berr, 0, False)
         if do_refine:
             while berr > opts.refine_eps and steps < cap:
                 dx = direct(block_residual(x))
                 x = x + dx
                 steps += 1
-                new_berr = worst_berr(x)
+                new_bv = col_berrs(x)
+                new_berr = float(np.max(new_bv))
                 if new_berr <= opts.refine_eps:
-                    berr = new_berr
+                    bv, berr = new_bv, new_berr
                     converged = True
                     break
                 if new_berr > berr / opts.refine_stagnation:
@@ -621,12 +639,11 @@ class GESPSolver:
                     if new_berr > berr:
                         x = x - dx
                     else:
-                        berr = new_berr
+                        bv, berr = new_bv, new_berr
                     converged = False
                     break
-                berr = new_berr
-        return MultiSolveResult(x=x, berr=berr, steps=steps,
-                                converged=converged)
+                bv, berr = new_bv, new_berr
+        return result(x, bv, berr, steps, converged)
 
     def solve_transpose(self, b):
         """x with ``Aᵀ x = b`` through the same factors.

@@ -141,6 +141,59 @@ COUNTERS = (
         "Flops of the gemm_update products alone (2·m·k·n per call) — "
         "the Schur-complement share of factor.flops."),
     CounterSpec(
+        "cache.hits", "lookup",
+        "repro/driver/factcache.py",
+        "FactorizationCache lookups that returned a stored PatternPlan "
+        "(a factorization reused a cached analysis instead of paying "
+        "for a cold one)."),
+    CounterSpec(
+        "cache.misses", "lookup",
+        "repro/driver/factcache.py",
+        "FactorizationCache lookups that found nothing under the plan "
+        "key (the pattern had not been analyzed yet, or its plan was "
+        "evicted)."),
+    CounterSpec(
+        "cache.evictions", "plan",
+        "repro/driver/factcache.py",
+        "PatternPlans dropped by the cache's LRU bound; an evicted "
+        "pattern costs a fresh cold analysis on its next request."),
+    CounterSpec(
+        "service.requests", "request",
+        "repro/service/server.py",
+        "Solve requests admitted into the service queue (rejected "
+        "requests are counted by service.rejected_overload and "
+        "service.deadline_expired instead)."),
+    CounterSpec(
+        "service.batched", "batch",
+        "repro/service/server.py",
+        "Coalesced batches executed by the worker pool (each batch is "
+        "one factorization — cold or same-pattern — plus one multi-RHS "
+        "solve)."),
+    CounterSpec(
+        "service.coalesce_width", "request",
+        "repro/service/server.py",
+        "Summed width of executed batches; divided by service.batched "
+        "it gives the mean coalescing width (1.0 = no request ever "
+        "shared a factorization)."),
+    CounterSpec(
+        "service.rejected_overload", "request",
+        "repro/service/server.py",
+        "Requests shed at admission because the bounded queue was full "
+        "(backpressure: the caller sees ServiceOverloaded, memory "
+        "stays bounded)."),
+    CounterSpec(
+        "service.deadline_expired", "request",
+        "repro/service/server.py",
+        "Requests rejected with DeadlineExceeded because their "
+        "deadline passed while queued (evicted at admission pressure "
+        "or at dispatch, never solved late silently)."),
+    CounterSpec(
+        "service.recovered", "solve",
+        "repro/service/server.py",
+        "Batch members whose block solve failed or did not converge "
+        "and that were then certified individually by the recovery "
+        "ladder."),
+    CounterSpec(
         "recovery.attempts", "rung",
         "repro/recovery/ladder.py",
         "Recovery-ladder rungs attempted (the baseline GESP solve "

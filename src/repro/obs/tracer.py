@@ -33,6 +33,7 @@ a ``dmem`` run is bit-reproducible.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -259,19 +260,27 @@ class NullTracer:
 
 
 NULL_TRACER = NullTracer()
-_current = NULL_TRACER
+
+# The ambient tracer is *per-thread*: a Tracer's span stack is not
+# thread-safe, so a tracer installed by one thread must never be visible
+# to instrumentation running on another (repro.service worker threads
+# factor concurrently; each batch gets its own tracer and the results
+# are merged under a lock — see repro/service/server.py).  Threads that
+# never called set_tracer see the shared NULL_TRACER.
+_local = threading.local()
 
 
 def get_tracer():
-    """The ambient tracer (the shared :data:`NULL_TRACER` by default)."""
-    return _current
+    """This thread's ambient tracer (the shared :data:`NULL_TRACER` by
+    default)."""
+    return getattr(_local, "tracer", NULL_TRACER)
 
 
 def set_tracer(tracer):
-    """Install ``tracer`` as the ambient tracer; returns the previous one."""
-    global _current
-    previous = _current
-    _current = tracer if tracer is not None else NULL_TRACER
+    """Install ``tracer`` as this thread's ambient tracer; returns the
+    previous one."""
+    previous = getattr(_local, "tracer", NULL_TRACER)
+    _local.tracer = tracer if tracer is not None else NULL_TRACER
     return previous
 
 
@@ -287,25 +296,25 @@ def use_tracer(tracer):
 
 def trace(name, **attrs):
     """Open a span on the ambient tracer (no-op context when disabled)."""
-    return _current.span(name, **attrs)
+    return get_tracer().span(name, **attrs)
 
 
 def add(counter, value=1):
     """Accumulate a counter on the ambient tracer's current span."""
-    tr = _current
+    tr = get_tracer()
     if tr.enabled:
         tr.add(counter, value)
 
 
 def annotate(**attrs):
     """Attach attributes to the ambient tracer's current span."""
-    tr = _current
+    tr = get_tracer()
     if tr.enabled:
         tr.annotate(**attrs)
 
 
 def event(name, **data):
     """Record an event on the ambient tracer's current span."""
-    tr = _current
+    tr = get_tracer()
     if tr.enabled:
         tr.event(name, **data)

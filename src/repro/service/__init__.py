@@ -1,0 +1,63 @@
+"""repro.service — the GESP pipeline as a concurrent solve service.
+
+Static pivoting's economics (one symbolic analysis, many numeric
+factorizations — paper §1) only pay off when many solves actually share
+the work.  This package is the serving layer that makes that happen for
+*concurrent* callers: requests are admitted through a bounded queue
+(backpressure), coalesced by pattern into multi-RHS block solves,
+executed on a worker pool, and individually certified — with failed
+members retried through the :mod:`repro.recovery` ladder.
+
+Module map:
+
+- :mod:`~repro.service.api` — requests, responses, futures, config,
+  structured errors
+- :mod:`~repro.service.queue` — bounded admission queue with deadline
+  eviction
+- :mod:`~repro.service.batcher` — same-pattern coalescing into batches
+- :mod:`~repro.service.pool` — the worker thread pool
+- :mod:`~repro.service.server` — :class:`SolveService`, tying it all
+  together
+- :mod:`~repro.service.client` — blocking client + synthetic load
+  generation
+
+See docs/SERVICE.md for the request lifecycle and semantics.
+"""
+
+from repro.service.api import (
+    DeadlineExceeded,
+    PendingSolve,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloaded,
+    SolveRequest,
+    SolveResponse,
+    default_workers,
+)
+from repro.service.client import (
+    ServiceClient,
+    SyntheticItem,
+    WorkloadResult,
+    run_open_loop,
+    synthetic_workload,
+)
+from repro.service.server import SolveService
+
+__all__ = [
+    "DeadlineExceeded",
+    "PendingSolve",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloaded",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveService",
+    "SyntheticItem",
+    "WorkloadResult",
+    "default_workers",
+    "run_open_loop",
+    "synthetic_workload",
+]

@@ -1,0 +1,283 @@
+"""Request/response surface of the solve service.
+
+Everything a caller touches lives here: :class:`SolveRequest` (what to
+solve, by when), :class:`SolveResponse` (a real
+:class:`~repro.driver.gesp_driver.SolveReport` plus service metadata),
+:class:`PendingSolve` (the future a submit returns), the structured
+rejections (:class:`ServiceOverloaded`, :class:`DeadlineExceeded`,
+:class:`ServiceClosed`), and :class:`ServiceConfig`.
+
+The contract (docs/SERVICE.md): a submitted request always terminates in
+exactly one of three ways — a ``SolveResponse`` carrying a
+``SolveReport``, a ``SolveResponse`` carrying a structured
+``ServiceError``, or (for ``submit`` itself) an immediate
+``ServiceOverloaded``/``ServiceClosed`` raise.  Nothing queues
+unboundedly and nothing fails silently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.driver.options import GESPOptions
+from repro.sparse.csc import CSCMatrix
+
+__all__ = [
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_QUEUE_CAPACITY",
+    "DeadlineExceeded",
+    "PendingSolve",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloaded",
+    "SolveRequest",
+    "SolveResponse",
+    "default_workers",
+]
+
+DEFAULT_QUEUE_CAPACITY = 256
+DEFAULT_BATCH_WINDOW = 0.002       # seconds a burst is given to coalesce
+DEFAULT_MAX_BATCH = 32             # nrhs cap of one coalesced block solve
+
+
+def default_workers() -> int:
+    """Worker-pool width: ``$REPRO_SERVICE_WORKERS``, else min(4, cpus)."""
+    env = os.environ.get("REPRO_SERVICE_WORKERS", "").strip()
+    if env:
+        workers = int(env)
+        if workers < 1:
+            raise ValueError(
+                f"REPRO_SERVICE_WORKERS must be >= 1, got {workers}")
+        return workers
+    return min(4, os.cpu_count() or 1)
+
+
+class ServiceError(RuntimeError):
+    """Base of every structured service rejection."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Load shed at admission: the bounded queue was full.
+
+    The request was *not* enqueued; the caller should back off and
+    retry.  ``capacity`` is the queue bound, ``pending`` the depth at
+    rejection time.
+    """
+
+    def __init__(self, capacity: int, pending: int):
+        self.capacity = int(capacity)
+        self.pending = int(pending)
+        super().__init__(
+            f"service queue full ({pending}/{capacity} pending); "
+            "request rejected (backpressure)")
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before its solve started.
+
+    ``waited`` is how long the request sat queued; ``deadline`` the
+    budget it arrived with.  The solve was never attempted — a late
+    answer is never computed, let alone returned as fresh.
+    """
+
+    def __init__(self, deadline: float, waited: float):
+        self.deadline = float(deadline)
+        self.waited = float(waited)
+        super().__init__(
+            f"deadline of {self.deadline:.3f}s exceeded after waiting "
+            f"{self.waited:.3f}s; request evicted unsolved")
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down (or shutting down) and admits nothing."""
+
+    def __init__(self, detail: str = "service is closed"):
+        super().__init__(detail)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`~repro.service.server.SolveService`.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker threads executing batches; ``None`` defers to
+        ``$REPRO_SERVICE_WORKERS`` and finally ``min(4, cpus)``.
+    queue_capacity:
+        Bound on queued (admitted, not yet dispatched) requests; a full
+        queue sheds load with :class:`ServiceOverloaded`.
+    batch_window:
+        Seconds the dispatcher waits after the first queued request for
+        burst-mates to arrive before coalescing (0 disables the wait).
+    max_batch:
+        Widest multi-RHS block one batch may solve; wider same-pattern
+        groups split into several batches.
+    options:
+        Default :class:`~repro.driver.options.GESPOptions` for requests
+        that do not carry their own.
+    recover:
+        Retry failed / non-converged batch members individually through
+        the :mod:`repro.recovery` ladder (per-request, so one poisoned
+        member never sinks its batch-mates).
+    recover_target:
+        Certification threshold handed to the ladder; ``None`` uses the
+        ladder's default (``sqrt(eps)``).
+    """
+
+    max_workers: int | None = None
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY
+    batch_window: float = DEFAULT_BATCH_WINDOW
+    max_batch: int = DEFAULT_MAX_BATCH
+    options: GESPOptions = field(default_factory=GESPOptions)
+    recover: bool = True
+    recover_target: float | None = None
+
+    def validate(self) -> "ServiceConfig":
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.options.validate()
+        return self
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (``max_workers`` or the default)."""
+        return self.max_workers if self.max_workers is not None \
+            else default_workers()
+
+
+@dataclass
+class SolveRequest:
+    """One ``A x = b`` to solve, with an optional deadline.
+
+    Attributes
+    ----------
+    matrix:
+        The system matrix — a :class:`~repro.sparse.csc.CSCMatrix`, or a
+        string key previously registered with
+        :meth:`~repro.service.server.SolveService.register_matrix`
+        (saves re-shipping the values with every request of a stream).
+    b:
+        Right-hand side (length n).
+    deadline:
+        Seconds the caller will wait, measured from admission; ``None``
+        waits forever.  A request still queued when its deadline passes
+        is evicted with :class:`DeadlineExceeded` — never solved late.
+    options:
+        Per-request :class:`~repro.driver.options.GESPOptions`; the
+        service config's default when ``None``.  Requests only coalesce
+        when their options shape the same plan (see
+        :func:`repro.driver.factcache.serial_plan_key`).
+    request_id:
+        Caller-chosen identifier echoed on the response; assigned by
+        the service (``"req-<n>"``) when empty.
+    """
+
+    matrix: CSCMatrix | str
+    b: np.ndarray
+    deadline: float | None = None
+    options: GESPOptions | None = None
+    request_id: str = ""
+
+    def validate(self) -> "SolveRequest":
+        if not isinstance(self.matrix, (CSCMatrix, str)):
+            raise TypeError("matrix must be a CSCMatrix or a registered "
+                            f"pattern key, got {type(self.matrix).__name__}")
+        b = np.asarray(self.b)
+        if b.ndim != 1:
+            raise ValueError(f"b must be a vector, got shape {b.shape}")
+        if isinstance(self.matrix, CSCMatrix):
+            if self.matrix.nrows != self.matrix.ncols:
+                raise ValueError("service requires a square matrix")
+            if b.shape[0] != self.matrix.ncols:
+                raise ValueError(
+                    f"b has length {b.shape[0]} but the matrix order is "
+                    f"{self.matrix.ncols}")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds")
+        if self.options is not None:
+            self.options.validate()
+        return self
+
+
+@dataclass
+class SolveResponse:
+    """Outcome of one request: a report, or a structured error.
+
+    Exactly one of ``report``/``error`` is meaningful: ``error is None``
+    means the solve ran and ``report`` is its full
+    :class:`~repro.driver.gesp_driver.SolveReport` (which may itself say
+    ``converged=False`` with a failure diagnosis when even the recovery
+    ladder could not certify).
+    """
+
+    request_id: str
+    report: object | None = None
+    error: ServiceError | None = None
+    batch_width: int = 1
+    fact: str = ""                    # DOFACT / SAME_PATTERN / FACTORED
+    recovered: bool = False           # certified by the per-request ladder
+    queued_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when a solve ran and its backward error was certified."""
+        return (self.error is None and self.report is not None
+                and bool(self.report.converged))
+
+    @property
+    def x(self) -> np.ndarray:
+        """The solution vector (raises the structured error if rejected)."""
+        return self.result().x
+
+    def result(self):
+        """The :class:`SolveReport`, raising the structured
+        :class:`ServiceError` if the request was rejected instead."""
+        if self.error is not None:
+            raise self.error
+        return self.report
+
+
+class PendingSolve:
+    """The future a :meth:`SolveService.submit` returns.
+
+    Thread-safe; completed exactly once by the service.  ``result()``
+    blocks for the :class:`SolveResponse` (rejections are *returned* in
+    the response's ``error`` field, not raised — call
+    ``response.result()`` to raise them).
+    """
+
+    def __init__(self, request: SolveRequest):
+        self.request = request
+        self._done = threading.Event()
+        self._response: SolveResponse | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> SolveResponse:
+        """Block until the service completes this request."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id!r} still pending after "
+                f"{timeout}s")
+        return self._response
+
+    def _complete(self, response: SolveResponse):
+        if self._done.is_set():          # first completion wins
+            return
+        self._response = response
+        self._done.set()

@@ -1,0 +1,120 @@
+"""A small dedicated worker pool for batch execution.
+
+Deliberately minimal (threads + one shared job queue) rather than a
+``concurrent.futures`` wrapper: the service needs exactly three things a
+stock executor makes awkward — named daemon threads, a synchronous
+drain-and-join shutdown that still runs already-submitted jobs, and a
+last-resort exception hook so a crashing job can never strand its
+batch's futures silently (the server installs a hook that completes
+them with a structured error; anything that *still* escapes lands in
+``failures`` for tests to assert emptiness on).
+
+Threads, not processes: the numeric kernels release the GIL inside
+NumPy for the large operations, and the factorization state (solvers,
+plan cache) is shared by reference — the same trade SuperLU_DIST's
+shared-memory layer makes.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import traceback
+
+__all__ = ["WorkerPool"]
+
+_SENTINEL = object()
+
+
+class WorkerPool:
+    """Fixed-width pool of daemon worker threads.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count (>= 1).
+    name:
+        Thread-name prefix (``<name>-<i>`` shows up in stack dumps).
+    on_error:
+        Called as ``on_error(job, exc)`` when a job raises; exceptions
+        from the hook itself are swallowed into ``failures`` too, so a
+        worker thread can never die of a job.
+    """
+
+    def __init__(self, max_workers: int, name: str = "repro-service",
+                 on_error=None):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self._jobs: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._on_error = on_error
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._pending = 0              # submitted, not yet finished
+        self._idle = threading.Condition(self._lock)
+        #: (job, exception, traceback_str) triples nothing handled.
+        self.failures: list = []
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}",
+                             daemon=True)
+            for i in range(self.max_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(self, fn, *args):
+        """Enqueue ``fn(*args)`` for execution on some worker."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+            self._pending += 1
+            self._jobs.put((fn, args))
+
+    def _run(self):
+        while True:
+            job = self._jobs.get()
+            if job is _SENTINEL:
+                return
+            fn, args = job
+            try:
+                fn(*args)
+            except BaseException as exc:   # noqa: BLE001 — last resort
+                self._record_failure(job, exc)
+            finally:
+                with self._idle:
+                    self._pending -= 1
+                    self._idle.notify_all()
+
+    def _record_failure(self, job, exc):
+        try:
+            if self._on_error is not None:
+                self._on_error(job, exc)
+                return
+        except BaseException as hook_exc:  # noqa: BLE001
+            exc = hook_exc
+        with self._lock:
+            self.failures.append((job, exc, traceback.format_exc()))
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet finished (queued + running)."""
+        with self._lock:
+            return self._pending
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job has finished (a concurrent
+        submit can of course re-busy the pool immediately after)."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    def shutdown(self, wait: bool = True):
+        """Stop accepting jobs; run everything already queued, then stop
+        the workers.  With ``wait`` join them (idempotent)."""
+        with self._lock:
+            if not self._shutdown:
+                self._shutdown = True
+                for _ in self._threads:
+                    self._jobs.put(_SENTINEL)
+        if wait:
+            for t in self._threads:
+                t.join()

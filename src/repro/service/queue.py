@@ -1,0 +1,140 @@
+"""Bounded admission queue: backpressure and deadline eviction.
+
+The queue is the only place requests wait, and it is *bounded*: an
+``offer`` against a full queue first evicts entries whose deadline has
+already passed (they could never be answered in time anyway — shedding
+them is strictly better than shedding the newcomer) and, if the queue is
+still full, raises :class:`~repro.service.api.ServiceOverloaded`.
+Memory therefore stays O(capacity) no matter how hard the service is
+hammered, and a slow consumer surfaces as structured rejections instead
+of unbounded growth — the classic load-shedding contract.
+
+Policy only: the queue never completes futures or touches solvers.  The
+server owns the side effects (rejection responses, counters) and feeds
+on :meth:`AdmissionQueue.drain`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.service.api import PendingSolve, ServiceOverloaded, SolveRequest
+
+__all__ = ["AdmissionQueue", "QueuedRequest"]
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request plus everything the batcher groups on.
+
+    ``group_key`` is the full coalescing key (plan key + values
+    signature — see :func:`repro.service.batcher.coalesce`);
+    ``deadline`` is *absolute* (same clock as ``t_enqueued``), computed
+    once at admission from the request's relative budget.
+    """
+
+    request: SolveRequest
+    pending: PendingSolve
+    matrix: object                       # resolved CSCMatrix
+    group_key: tuple
+    options: object                      # resolved GESPOptions
+    t_enqueued: float
+    deadline: float | None = None        # absolute; None = no deadline
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def waited(self, now: float) -> float:
+        return now - self.t_enqueued
+
+
+@dataclass
+class _State:
+    entries: deque = field(default_factory=deque)
+    closed: bool = False
+
+
+class AdmissionQueue:
+    """FIFO of :class:`QueuedRequest` bounded at ``capacity``.
+
+    Thread-safe.  Producers call :meth:`offer`; the single dispatcher
+    thread blocks in :meth:`drain`.  ``close()`` wakes the dispatcher
+    and makes further offers raise (the server converts that into
+    :class:`~repro.service.api.ServiceClosed` before calling).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._state = _State()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._state.entries)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._state.closed
+
+    def offer(self, entry: QueuedRequest,
+              now: float) -> list[QueuedRequest]:
+        """Admit ``entry`` or raise :class:`ServiceOverloaded`.
+
+        Returns the (possibly empty) list of already-expired entries
+        evicted to make room; the caller owns rejecting them with
+        :class:`~repro.service.api.DeadlineExceeded`.
+        """
+        with self._nonempty:
+            if self._state.closed:
+                raise RuntimeError("queue is closed")
+            evicted = []
+            if len(self._state.entries) >= self.capacity:
+                kept = deque()
+                for e in self._state.entries:
+                    (evicted if e.expired(now) else kept).append(e)
+                self._state.entries = kept
+            if len(self._state.entries) >= self.capacity:
+                raise ServiceOverloaded(self.capacity,
+                                        len(self._state.entries))
+            self._state.entries.append(entry)
+            self._nonempty.notify()
+            return evicted
+
+    def drain(self, timeout: float | None = None,
+              max_items: int | None = None) -> list[QueuedRequest]:
+        """Remove and return queued entries, oldest first.
+
+        Blocks up to ``timeout`` for the first entry (``None`` blocks
+        until an entry arrives or the queue closes); never blocks for
+        more than the first.  Returns ``[]`` on timeout or closure.
+        """
+        with self._nonempty:
+            if not self._state.entries and not self._state.closed:
+                self._nonempty.wait(timeout)
+            return self._take(max_items)
+
+    def drain_nowait(self,
+                     max_items: int | None = None) -> list[QueuedRequest]:
+        """Like :meth:`drain` with a zero timeout."""
+        with self._lock:
+            return self._take(max_items)
+
+    def _take(self, max_items):
+        entries = self._state.entries
+        n = len(entries) if max_items is None else min(max_items,
+                                                       len(entries))
+        return [entries.popleft() for _ in range(n)]
+
+    def close(self):
+        """Stop admission and wake the dispatcher (idempotent).  Entries
+        still queued remain drainable so the server can reject or finish
+        them explicitly."""
+        with self._nonempty:
+            self._state.closed = True
+            self._nonempty.notify_all()

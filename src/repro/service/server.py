@@ -1,0 +1,472 @@
+"""The concurrent solve service: admission → coalescing → worker pool.
+
+Request lifecycle (docs/SERVICE.md has the full walkthrough)::
+
+    submit(SolveRequest) ──► AdmissionQueue (bounded; ServiceOverloaded
+         │                      when full, expired entries evicted with
+         │                      DeadlineExceeded to make room)
+         ▼
+    dispatcher thread ── waits batch_window for burst-mates, then
+         │               coalesces by (plan key, values signature)
+         ▼
+    WorkerPool ── per batch, under that pattern's lock:
+         │          cold pattern   → DOFACT factorization, plan published
+         │          stale values   → SAME_PATTERN refactorization
+         │          same values    → factors reused as-is (FACTORED)
+         │        then ONE multi-RHS solve for the whole batch
+         ▼
+    per-request SolveReport — members whose column did not certify are
+    retried individually through the repro.recovery ladder; every
+    future completes exactly once.
+
+Threading model: the caller's thread runs admission (including the
+pattern fingerprint), the single dispatcher thread runs policy, worker
+threads run numerics.  Each pattern has its own lock, so distinct
+patterns factor in parallel while same-pattern batches serialize on
+their shared solver.  The ambient tracer is per-thread
+(:mod:`repro.obs.tracer`): each traced batch collects into a private
+tracer whose finished span tree is merged under the service span, and
+``service.*`` counters are written under one lock — a concurrent run
+yields one coherent trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.driver.gesp_driver import GESPSolver, SolveReport
+from repro.obs import Span, Tracer, get_tracer, use_tracer
+from repro.service.api import (
+    DeadlineExceeded,
+    PendingSolve,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloaded,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.service.batcher import Batch, coalesce, group_key
+from repro.service.pool import WorkerPool
+from repro.service.queue import AdmissionQueue, QueuedRequest
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["SolveService"]
+
+_clock = time.perf_counter
+
+
+class _PatternState:
+    """Per-pattern mutable state: the solver and its current values."""
+
+    __slots__ = ("lock", "solver", "values_sig")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.solver: GESPSolver | None = None
+        self.values_sig: str | None = None
+
+
+class SolveService:
+    """Factor-once-serve-many as a long-lived concurrent service.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.service.api.ServiceConfig` (defaults when
+        omitted).
+    cache:
+        The :class:`~repro.driver.factcache.FactorizationCache` cold
+        factorizations publish their plans to; the process-wide
+        ``FACTOR_CACHE`` by default, ``False`` to disable publication.
+    tracer:
+        A :class:`repro.obs.Tracer` to attach the ``service`` span (and
+        every batch's span tree) to; defaults to the ambient tracer of
+        the constructing thread when one is installed.
+    auto_start:
+        Start the dispatcher and worker pool immediately (pass False to
+        stage requests first — tests use this to make queue behavior
+        deterministic — then call :meth:`start`).
+
+    Usage::
+
+        with SolveService() as svc:
+            pending = [svc.submit(SolveRequest(a, b)) for b in rhs_stream]
+            reports = [p.result().result() for p in pending]
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, cache=None,
+                 tracer: Tracer | None = None, auto_start: bool = True):
+        self.config = (config or ServiceConfig()).validate()
+        if cache is None:
+            from repro.driver.factcache import FACTOR_CACHE
+
+            self._cache = FACTOR_CACHE
+        else:
+            self._cache = cache            # False disables publication
+        if tracer is None:
+            ambient = get_tracer()
+            tracer = ambient if ambient.enabled else None
+        self._tracer = tracer
+        self._span: Span | None = None
+        self._obs_lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._queue = AdmissionQueue(self.config.queue_capacity)
+        self._pool: WorkerPool | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._patterns: dict[tuple, _PatternState] = {}
+        self._matrices: dict[str, CSCMatrix] = {}
+        self._state_lock = threading.Lock()
+        self._seq = 0
+        self._started = False
+        self._closing = False
+        if auto_start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self):
+        """Start the worker pool and dispatcher (idempotent)."""
+        with self._state_lock:
+            if self._started:
+                return self
+            if self._closing:
+                raise ServiceClosed("cannot start a closed service")
+            self._started = True
+        if self._tracer is not None and self._span is None:
+            span = Span("service", t_start=self._tracer.clock())
+            span.attrs.update(workers=self.config.workers,
+                              queue_capacity=self.config.queue_capacity,
+                              batch_window=self.config.batch_window,
+                              max_batch=self.config.max_batch)
+            with self._obs_lock:
+                self._span = span
+                span.counters.update(self._counters)
+            self._tracer.current.children.append(span)
+        self._pool = WorkerPool(self.config.workers,
+                                on_error=self._batch_crashed)
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="repro-service-dispatch",
+                                            daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def close(self):
+        """Graceful shutdown: stop admission, finish everything queued,
+        join the workers (idempotent).  Requests still queued when the
+        service was never started are rejected with ``ServiceClosed``."""
+        with self._state_lock:
+            if self._closing:
+                return
+            self._closing = True
+        self._queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        for entry in self._queue.drain_nowait():
+            self._complete(entry, SolveResponse(
+                request_id=entry.request.request_id,
+                error=ServiceClosed("service closed before the request "
+                                    "was dispatched")))
+        if self._span is not None:
+            self._span.t_end = self._tracer.clock()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # admission (caller threads)
+    # ------------------------------------------------------------------ #
+
+    def register_matrix(self, key: str, a: CSCMatrix):
+        """Register ``a`` under ``key`` so requests can reference it by
+        name instead of shipping the values each time."""
+        if not isinstance(a, CSCMatrix) or a.nrows != a.ncols:
+            raise ValueError("register_matrix requires a square CSCMatrix")
+        with self._state_lock:
+            self._matrices[key] = a
+        return self
+
+    def submit(self, request: SolveRequest) -> PendingSolve:
+        """Admit one request; returns its :class:`PendingSolve` future.
+
+        Raises :class:`ServiceOverloaded` (queue full — the request was
+        shed) or :class:`ServiceClosed`; a successfully admitted request
+        always completes its future, with a report or a structured
+        error.
+        """
+        if self._closing:
+            raise ServiceClosed()
+        request.validate()
+        matrix = request.matrix
+        if isinstance(matrix, str):
+            with self._state_lock:
+                if matrix not in self._matrices:
+                    raise KeyError(
+                        f"no matrix registered under {matrix!r}; call "
+                        "register_matrix first")
+                matrix = self._matrices[matrix]
+            if np.asarray(request.b).shape[0] != matrix.ncols:
+                raise ValueError(
+                    f"b has length {np.asarray(request.b).shape[0]} but "
+                    f"matrix {request.matrix!r} has order {matrix.ncols}")
+        if not request.request_id:
+            with self._state_lock:
+                self._seq += 1
+                request.request_id = f"req-{self._seq}"
+        options = (request.options if request.options is not None
+                   else self.config.options)
+        now = _clock()
+        entry = QueuedRequest(
+            request=request, pending=PendingSolve(request), matrix=matrix,
+            group_key=group_key(matrix, options), options=options,
+            t_enqueued=now,
+            deadline=None if request.deadline is None
+            else now + request.deadline)
+        try:
+            evicted = self._queue.offer(entry, now)
+        except ServiceOverloaded:
+            self._count("service.rejected_overload", 1)
+            raise
+        except RuntimeError:
+            raise ServiceClosed() from None
+        for stale in evicted:
+            self._reject_expired(stale, now)
+        self._count("service.requests", 1)
+        return entry.pending
+
+    # ------------------------------------------------------------------ #
+    # dispatch (the single dispatcher thread)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_loop(self):
+        cfg = self.config
+        while True:
+            entries = self._queue.drain(timeout=0.05)
+            if not entries:
+                if self._queue.closed:
+                    return
+                continue
+            if cfg.batch_window > 0:
+                # give the rest of a burst time to arrive: this wait is
+                # what turns N concurrent submits into one block solve
+                time.sleep(cfg.batch_window)
+                entries += self._queue.drain_nowait()
+            # adaptive batching under load: while every worker is busy,
+            # nothing dispatched now could start anyway — keep absorbing
+            # arrivals so a backlog coalesces into wide block solves
+            # instead of a convoy of singletons
+            while (self._pool.pending >= cfg.workers
+                   and not self._queue.closed):
+                time.sleep(cfg.batch_window or 0.0005)
+                entries += self._queue.drain_nowait()
+            now = _clock()
+            live = []
+            for e in entries:
+                if e.expired(now):
+                    self._reject_expired(e, now)
+                else:
+                    live.append(e)
+            for batch in coalesce(live, cfg.max_batch):
+                self._pool.submit(self._run_batch, batch)
+
+    # ------------------------------------------------------------------ #
+    # batch execution (worker threads)
+    # ------------------------------------------------------------------ #
+
+    def _run_batch(self, batch: Batch):
+        now = _clock()
+        live = []
+        for e in batch.entries:
+            if e.expired(now):
+                self._reject_expired(e, now)
+            else:
+                live.append(e)
+        if not live:
+            return
+        tracing = self._span is not None
+        bt = Tracer(name="service/batch") if tracing else None
+        with (use_tracer(bt) if tracing else nullcontext()):
+            t0 = _clock()
+            state = self._pattern_state(batch.plan_key)
+            with state.lock:
+                try:
+                    fact = self._ensure_factored(state, batch)
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    state.solver = None
+                    state.values_sig = None
+                    self._factor_failed(live, t0, exc)
+                    self._merge_batch_trace(bt, batch, len(live), "FAILED")
+                    return
+                responses = self._solve_batch(state.solver, live, fact)
+            self._count("service.batched", 1)
+            self._count("service.coalesce_width", len(live))
+            solve_seconds = _clock() - t0
+            for e, resp in zip(live, responses):
+                resp.batch_width = len(live)
+                resp.fact = fact
+                resp.queued_seconds = t0 - e.t_enqueued
+                resp.solve_seconds = solve_seconds
+                self._complete(e, resp)
+        self._merge_batch_trace(bt, batch, len(live), fact)
+
+    def _ensure_factored(self, state: _PatternState, batch: Batch) -> str:
+        """Bring the pattern's solver up to date with the batch's values;
+        returns the reuse mode that ran."""
+        if state.solver is None:
+            opts = dataclasses.replace(batch.options, fact="DOFACT")
+            state.solver = GESPSolver(batch.matrix, opts,
+                                      cache=self._cache)
+            state.values_sig = batch.values_sig
+            return "DOFACT"
+        if state.values_sig != batch.values_sig:
+            state.solver.refactor(batch.matrix, fact="SAME_PATTERN")
+            state.values_sig = batch.values_sig
+            return "SAME_PATTERN"
+        return "FACTORED"
+
+    def _solve_batch(self, solver: GESPSolver, live: list[QueuedRequest],
+                     fact: str) -> list[SolveResponse]:
+        opts = live[0].options
+        if len(live) == 1 or opts.diag_block_pivoting > 0.0:
+            return [self._solve_single(solver, e) for e in live]
+        b_block = np.column_stack(
+            [np.asarray(e.request.b, dtype=np.float64) for e in live])
+        try:
+            res = solver.solve_multi(b_block)
+        except Exception as exc:  # noqa: BLE001 — retried per request
+            return [self._recover_or_error(e, exc) for e in live]
+        responses = []
+        for t, e in enumerate(live):
+            report = SolveReport(
+                x=np.ascontiguousarray(res.x[:, t]),
+                berr=float(res.berrs[t]), refine_steps=res.steps,
+                converged=bool(res.col_converged[t]))
+            if report.converged or not self.config.recover:
+                responses.append(SolveResponse(
+                    request_id=e.request.request_id, report=report))
+            else:
+                # this column lost the joint refinement: retry it alone
+                # through the ladder while its batch-mates keep their
+                # certified block results
+                responses.append(self._recover_entry(e))
+        return responses
+
+    def _solve_single(self, solver: GESPSolver,
+                      e: QueuedRequest) -> SolveResponse:
+        try:
+            report = solver.solve(np.asarray(e.request.b,
+                                             dtype=np.float64))
+        except Exception as exc:  # noqa: BLE001 — retried below
+            return self._recover_or_error(e, exc)
+        if report.converged or not self.config.recover:
+            return SolveResponse(request_id=e.request.request_id,
+                                 report=report)
+        return self._recover_entry(e)
+
+    def _recover_or_error(self, e: QueuedRequest,
+                          exc: Exception) -> SolveResponse:
+        if self.config.recover:
+            return self._recover_entry(e)
+        return SolveResponse(
+            request_id=e.request.request_id,
+            error=ServiceError(f"solve failed: {exc!r} (recovery "
+                               "disabled by ServiceConfig.recover)"))
+
+    def _recover_entry(self, e: QueuedRequest) -> SolveResponse:
+        """Escalate one request through the recovery ladder."""
+        from repro.recovery import recover_solve
+
+        opts = dataclasses.replace(e.options, fact="DOFACT")
+        kwargs = {}
+        if self.config.recover_target is not None:
+            kwargs["target"] = self.config.recover_target
+        report = recover_solve(e.matrix, np.asarray(e.request.b,
+                                                    dtype=np.float64),
+                               options=opts, **kwargs)
+        if report.converged:
+            self._count("service.recovered", 1)
+        return SolveResponse(request_id=e.request.request_id,
+                             report=report, recovered=report.converged)
+
+    def _factor_failed(self, live, t0, exc):
+        """The shared factorization died: every member retries alone."""
+        for e in live:
+            resp = self._recover_or_error(e, exc)
+            resp.batch_width = len(live)
+            resp.fact = "DOFACT"
+            resp.queued_seconds = t0 - e.t_enqueued
+            resp.solve_seconds = _clock() - t0
+            self._complete(e, resp)
+
+    def _batch_crashed(self, job, exc):
+        """Worker-pool last resort: a bug escaped _run_batch — futures
+        must still complete (with an internal-error ServiceError)."""
+        fn, args = job
+        batch = args[0] if args else None
+        if isinstance(batch, Batch):
+            for e in batch.entries:
+                self._complete(e, SolveResponse(
+                    request_id=e.request.request_id,
+                    error=ServiceError(f"internal service error: {exc!r}")))
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def _pattern_state(self, plan_key: tuple) -> _PatternState:
+        with self._state_lock:
+            state = self._patterns.get(plan_key)
+            if state is None:
+                state = self._patterns[plan_key] = _PatternState()
+            return state
+
+    def _reject_expired(self, e: QueuedRequest, now: float):
+        self._count("service.deadline_expired", 1)
+        self._complete(e, SolveResponse(
+            request_id=e.request.request_id,
+            error=DeadlineExceeded(e.request.deadline, e.waited(now)),
+            queued_seconds=e.waited(now)))
+
+    def _complete(self, e: QueuedRequest, response: SolveResponse):
+        e.pending._complete(response)
+
+    def _count(self, name: str, value=1):
+        with self._obs_lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+            if self._span is not None:
+                c = self._span.counters
+                c[name] = c.get(name, 0) + value
+
+    def _merge_batch_trace(self, bt: Tracer | None, batch: Batch,
+                           width: int, fact: str):
+        if bt is None:
+            return
+        root = bt.finish()
+        root.attrs.update(width=width, fact=fact,
+                          pattern=batch.key[1][:12])
+        with self._obs_lock:
+            if self._span is not None:
+                self._span.children.append(root)
+
+    def stats(self) -> dict:
+        """Snapshot of the service counters plus queue/pattern gauges
+        (available with or without a tracer)."""
+        with self._obs_lock:
+            counters = dict(self._counters)
+        counters["queue_depth"] = len(self._queue)
+        with self._state_lock:
+            counters["patterns"] = len(self._patterns)
+        return counters

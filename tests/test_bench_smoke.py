@@ -70,3 +70,34 @@ def test_bench_trajectory_kernels_schema(tmp_path):
                                    "reference_seconds",
                                    "vectorized_seconds", "speedup"}
     assert rec["speedup"] >= rec["speedup_floor"] == 1.5
+
+
+def test_service_burst_smoke():
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from bench_service import SPEEDUP_FLOOR, warm_burst_comparison
+    finally:
+        sys.path.pop(0)
+    comp = warm_burst_comparison(name="cfd06", burst=8, rounds=3)
+    assert comp["widths"] == [8]          # the whole burst coalesced
+    assert comp["speedup"] >= SPEEDUP_FLOOR, comp
+
+
+def test_bench_trajectory_service_schema(tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "bench_trajectory.py"),
+         "--bench", "service", "--rounds", "3", "--requests", "20",
+         "--out", str(out)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    rec = json.loads(out.read_text())
+    assert rec["schema"] == "bench_service/v1"
+    assert rec["burst"] == 8
+    assert rec["speedup"] >= rec["speedup_floor"] == 2.0
+    loop = rec["open_loop"]
+    assert loop["completed"] == 20
+    assert loop["failed"] == 0
+    assert {"throughput_rps", "p50_latency_seconds", "p99_latency_seconds",
+            "batches", "mean_width"} <= set(loop)

@@ -101,3 +101,35 @@ def test_iterative_compare(capsys):
     assert main(["iterative", "cfd01", "--compare", "--max-iter", "200"]) == 0
     out = capsys.readouterr().out
     assert "with MC64" in out and "without MC64" in out
+
+
+def test_serve_burst(capsys):
+    assert main(["serve", "cfd01", "--requests", "12", "--workers", "2",
+                 "--batch-window", "0.005"]) == 0
+    out = capsys.readouterr().out
+    assert "12 certified" in out
+    assert "coalescing" in out
+    assert "throughput" in out
+
+
+def test_serve_open_loop_with_mtx_file(mtx_file, capsys):
+    assert main(["serve", mtx_file, "--requests", "6", "--rate", "500",
+                 "--workers", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "6 certified" in out
+    assert "open loop" in out
+
+
+def test_serve_trace_carries_service_span(capsys):
+    assert main(["--trace", "serve", "cfd01", "--requests", "8",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "service.requests" in out
+    assert "service.coalesce_width" in out
+
+
+def test_solve_trace_prints_plan_cache_stats(mtx_file, capsys):
+    assert main(["--trace", "solve", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "plan cache" in out
+    assert "misses" in out

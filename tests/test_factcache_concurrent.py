@@ -1,0 +1,166 @@
+"""Concurrency hammer for the factorization cache (issue satellite).
+
+N threads race cold and warm factorizations of the same and of different
+patterns against one shared :class:`FactorizationCache`.  The assertions
+pin the two properties a concurrent serving layer leans on:
+
+- *no duplicate plan builds beyond the race window* — once some thread
+  has published a pattern's plan, every later factorization of that
+  pattern hits the cache (cold builds are bounded by the number of
+  threads that raced the empty cache, and a warm second wave builds
+  nothing);
+- *bit-identical solutions* — plan reuse is not allowed to change a
+  single bit of the answer, no matter which thread built the plan or
+  how the race interleaved.
+
+Also covers the new ``cache.*`` counters (the other satellite): the
+hits/misses/evictions the cache reports through ``repro.obs`` must agree
+with its own ``stats()`` accounting.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import CSCMatrix, GESPOptions, GESPSolver
+from repro.driver.factcache import FactorizationCache
+from repro.obs import Tracer, use_tracer
+
+from conftest import random_nonsingular_dense
+
+N_THREADS = 8
+WAVES = 3
+
+
+def _dense_family(seed, n=30, patterns=1):
+    """``patterns`` structurally distinct matrices, each nonsingular."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(patterns):
+        out.append(CSCMatrix.from_dense(random_nonsingular_dense(
+            rng, n, density=0.4, hidden_perm=False)))
+    return out
+
+
+def _barrier_run(n_threads, fn):
+    """Run ``fn(tid)`` on n_threads threads released simultaneously;
+    re-raises the first worker exception."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+    results = [None] * n_threads
+
+    def work(tid):
+        try:
+            barrier.wait(timeout=30.0)
+            results[tid] = fn(tid)
+        except BaseException as exc:     # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    if errors:
+        raise errors[0]
+    return results
+
+
+def test_racing_cold_factorizations_build_at_most_one_plan_each():
+    (a,) = _dense_family(seed=2)
+    n = a.ncols
+    b = a @ np.ones(n)
+    cache = FactorizationCache(maxsize=8)
+    opts = GESPOptions(fact="SAME_PATTERN")
+
+    def solve_once(_tid):
+        return GESPSolver(a, opts, cache=cache).solve(b).x
+
+    # wave 1: all threads race the empty cache
+    xs = _barrier_run(N_THREADS, solve_once)
+    st = cache.stats()
+    assert st.size == 1                  # one pattern, one cached plan
+    assert st.hits + st.misses == N_THREADS
+    # the race window: at most one cold build per racing thread, and at
+    # least one thread must have built
+    assert 1 <= st.misses <= N_THREADS
+
+    # waves 2..k: the plan is published, nobody may build again
+    for _ in range(WAVES - 1):
+        xs += _barrier_run(N_THREADS, solve_once)
+    st2 = cache.stats()
+    assert st2.misses == st.misses       # zero post-warmup cold builds
+    assert st2.hits == WAVES * N_THREADS - st.misses
+
+    # bit-identical: cached-plan solves equal the cold-build solve exactly
+    for x in xs[1:]:
+        np.testing.assert_array_equal(xs[0], x)
+
+
+def test_racing_distinct_patterns_stay_isolated():
+    matrices = _dense_family(seed=7, patterns=4)
+    n = matrices[0].ncols
+    cache = FactorizationCache(maxsize=16)
+    opts = GESPOptions(fact="SAME_PATTERN")
+    reference = [GESPSolver(a, cache=False).solve(a @ np.ones(n)).x
+                 for a in matrices]
+
+    def solve_mine(tid):
+        a = matrices[tid % len(matrices)]
+        return tid, GESPSolver(a, opts, cache=cache).solve(
+            a @ np.ones(n)).x
+
+    results = []
+    for _ in range(WAVES):
+        results += _barrier_run(N_THREADS, solve_mine)
+    assert cache.stats().size == len(matrices)
+    # every thread, every wave: the right answer for *its* pattern,
+    # bitwise equal to the uncached solve
+    for tid, x in results:
+        np.testing.assert_array_equal(x, reference[tid % len(matrices)])
+
+
+def test_warm_refactorizations_race_without_corruption():
+    """Same pattern, different values, all threads refactoring through
+    their own solver concurrently: answers stay per-thread correct."""
+    (a,) = _dense_family(seed=11)
+    n = a.ncols
+    cache = FactorizationCache(maxsize=8)
+    GESPSolver(a, cache=cache).solve(a @ np.ones(n))   # publish the plan
+
+    def refactor_and_solve(tid):
+        scaled = CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                           a.nzval * (1.0 + tid), check=False)
+        rep = GESPSolver(scaled, GESPOptions(fact="SAME_PATTERN"),
+                         cache=cache).solve(scaled @ np.ones(n))
+        assert rep.converged
+        return rep.x
+
+    for _ in range(WAVES):
+        for x in _barrier_run(N_THREADS, refactor_and_solve):
+            np.testing.assert_allclose(x, np.ones(n), rtol=1e-8)
+
+
+def test_cache_counters_reach_the_trace_and_match_stats():
+    (a,) = _dense_family(seed=3)
+    n = a.ncols
+    b = a @ np.ones(n)
+    cache = FactorizationCache(maxsize=1)
+    (other,) = _dense_family(seed=4, patterns=1)
+    opts = GESPOptions(fact="SAME_PATTERN")
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        GESPSolver(a, opts, cache=cache).solve(b)          # miss + store
+        GESPSolver(a, opts, cache=cache).solve(b)          # hit
+        GESPSolver(other, opts, cache=cache).solve(        # miss + evict
+            other @ np.ones(n))
+    tracer.finish()
+    counters = tracer.root.all_counters()
+    st = cache.stats()
+    assert (st.hits, st.misses, st.evictions) == (1, 2, 1)
+    assert counters["cache.hits"] == st.hits
+    assert counters["cache.misses"] == st.misses
+    assert counters["cache.evictions"] == st.evictions
+    assert st.size == 1                  # bounded: the LRU entry was dropped

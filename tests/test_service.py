@@ -1,0 +1,386 @@
+"""End-to-end tests of the concurrent solve service (repro.service).
+
+The deterministic core: ``auto_start=False`` lets a test stage requests
+with no dispatcher running, so queue contents and coalescing groups are
+exact, not racy.  The three acceptance behaviors from the issue are all
+here: overload → ServiceOverloaded, past-deadline → DeadlineExceeded,
+and a poisoned batch member recovering through the ladder while its
+batch-mates come back certified.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import CSCMatrix, GESPOptions, GESPSolver
+from repro.driver.factcache import FactorizationCache
+from repro.obs import Tracer, use_tracer
+from repro.service import (
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    SolveRequest,
+    SolveService,
+)
+
+from conftest import random_nonsingular_dense
+
+SQRT_EPS = float(np.sqrt(np.finfo(np.float64).eps))
+
+# dense matrices under "raw" options share one pattern (fully dense) and
+# one plan key, so well- and ill-conditioned systems can ride the same
+# pattern state — exactly the poisoned-batch-member scenario
+RAW_OPTS = dict(row_perm="none", scale_diagonal=False, equilibrate=False,
+                col_perm="natural")
+
+
+def graded_matrix(n=40, expo=-12, seed=0):
+    """Ill-conditioned dense matrix whose GESP solve stagnates above the
+    certification target but is rescued by the ladder (same construction
+    test_recovery.py pins)."""
+    rng = np.random.default_rng(seed)
+    q1, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    q2, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    return q1 @ np.diag(np.logspace(0, expo, n)) @ q2
+
+
+def healthy_dense(n=40, seed=1):
+    rng = np.random.default_rng(seed)
+    return np.diag(rng.uniform(2, 3, n)) + 0.1 * rng.standard_normal((n, n))
+
+
+def _service(**kw):
+    kw.setdefault("max_workers", 2)
+    kw.setdefault("batch_window", 0.005)
+    cfg_keys = ("max_workers", "queue_capacity", "batch_window", "max_batch",
+                "options", "recover", "recover_target")
+    cfg = ServiceConfig(**{k: kw.pop(k) for k in cfg_keys if k in kw})
+    return SolveService(cfg, **kw)
+
+
+# --------------------------------------------------------------------- #
+# the core promise: a warm same-pattern burst becomes one block solve
+# --------------------------------------------------------------------- #
+
+def test_burst_coalesces_into_one_batch_and_matches_direct_solve(rng):
+    d = random_nonsingular_dense(rng, 30, density=0.4, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    rhs = [rng.standard_normal(30) for _ in range(8)]
+
+    svc = _service(auto_start=False, cache=False)
+    pending = [svc.submit(SolveRequest(matrix=a, b=b)) for b in rhs]
+    svc.start()
+    try:
+        responses = [p.result(30.0) for p in pending]
+    finally:
+        svc.close()
+
+    assert all(r.ok for r in responses)
+    assert all(r.batch_width == 8 for r in responses)
+    assert all(r.fact == "DOFACT" for r in responses)
+    stats = svc.stats()
+    assert stats["service.requests"] == 8
+    assert stats["service.batched"] == 1
+    assert stats["service.coalesce_width"] == 8
+    # responses answer the request they came from, bit-identical to the
+    # same block solve run directly
+    direct = GESPSolver(a, cache=False).solve_multi(np.column_stack(rhs))
+    for t, r in enumerate(responses):
+        assert r.report.berr <= SQRT_EPS
+        np.testing.assert_array_equal(r.x, direct.x[:, t])
+
+
+def test_cold_then_warm_then_refactor_fact_modes(rng):
+    d = random_nonsingular_dense(rng, 25, density=0.4, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    a_new = CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                      a.nzval * 1.0001, check=False)
+    with _service(cache=False) as svc:
+        client = ServiceClient(svc)
+        cold = client.solve(a, np.ones(25))
+        warm = client.solve(a, 2.0 * np.ones(25))
+        refa = client.solve(a_new, np.ones(25))
+    assert (cold.fact, warm.fact, refa.fact) == \
+        ("DOFACT", "FACTORED", "SAME_PATTERN")
+    assert cold.ok and warm.ok and refa.ok
+
+
+def test_same_pattern_different_values_do_not_share_a_block_solve(rng):
+    d = random_nonsingular_dense(rng, 20, density=1.0, hidden_perm=False)
+    a1 = CSCMatrix.from_dense(d)
+    a2 = CSCMatrix(a1.nrows, a1.ncols, a1.colptr, a1.rowind,
+                   a1.nzval * 3.0, check=False)
+    svc = _service(auto_start=False, cache=False)
+    p1 = svc.submit(SolveRequest(matrix=a1, b=np.ones(20)))
+    p2 = svc.submit(SolveRequest(matrix=a2, b=np.ones(20)))
+    svc.start()
+    try:
+        r1, r2 = p1.result(30.0), p2.result(30.0)
+    finally:
+        svc.close()
+    assert r1.ok and r2.ok
+    assert r1.batch_width == 1 and r2.batch_width == 1
+    # the two batches shared the pattern state: one factored cold, the
+    # other rode SAME_PATTERN (order depends on worker scheduling)
+    assert {r1.fact, r2.fact} == {"DOFACT", "SAME_PATTERN"}
+    assert svc.stats()["service.batched"] == 2
+
+
+# --------------------------------------------------------------------- #
+# acceptance: overload and deadline are structured, never silent
+# --------------------------------------------------------------------- #
+
+def test_full_queue_rejects_with_service_overloaded(rng):
+    a = CSCMatrix.from_dense(healthy_dense(10))
+    svc = _service(queue_capacity=2, auto_start=False)
+    svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    with pytest.raises(ServiceOverloaded) as exc:
+        svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    assert exc.value.capacity == 2
+    assert svc.stats()["service.rejected_overload"] == 1
+    assert svc.stats()["service.requests"] == 2
+    svc.close()
+
+
+def test_expired_entries_are_evicted_to_admit_new_work(rng):
+    a = CSCMatrix.from_dense(healthy_dense(10))
+    svc = _service(queue_capacity=2, auto_start=False)
+    doomed = [svc.submit(SolveRequest(matrix=a, b=np.ones(10),
+                                      deadline=0.0)) for _ in range(2)]
+    time.sleep(0.01)                     # let both deadlines pass
+    fresh = svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    for p in doomed:                     # evicted at admission, completed
+        resp = p.result(5.0)
+        assert isinstance(resp.error, DeadlineExceeded)
+        with pytest.raises(DeadlineExceeded):
+            resp.result()
+    assert not fresh.done()
+    assert svc.stats()["service.deadline_expired"] == 2
+    svc.start()
+    assert fresh.result(30.0).ok
+    svc.close()
+
+
+def test_request_expired_in_queue_is_never_solved(rng):
+    a = CSCMatrix.from_dense(healthy_dense(10))
+    svc = _service(auto_start=False)
+    expired = svc.submit(SolveRequest(matrix=a, b=np.ones(10),
+                                      deadline=0.0))
+    live = svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    time.sleep(0.01)
+    svc.start()
+    try:
+        r_expired = expired.result(30.0)
+        r_live = live.result(30.0)
+    finally:
+        svc.close()
+    assert isinstance(r_expired.error, DeadlineExceeded)
+    assert r_expired.error.waited >= 0.0
+    assert r_expired.report is None      # the solve never ran
+    assert r_live.ok
+    assert svc.stats()["service.deadline_expired"] == 1
+
+
+# --------------------------------------------------------------------- #
+# acceptance: poisoned batch member rescued, batch-mates unharmed
+# --------------------------------------------------------------------- #
+
+def test_poisoned_member_recovers_while_batch_mates_succeed():
+    n = 40
+    healthy = healthy_dense(n)
+    a_ok = CSCMatrix.from_dense(healthy)
+    a_bad = CSCMatrix.from_dense(graded_matrix(n=n, expo=-12, seed=0))
+    opts = GESPOptions(**RAW_OPTS)
+    # same fully-dense pattern + options: one pattern state, two batches
+    assert not GESPSolver(a_bad, opts, cache=False).solve(
+        a_bad @ np.ones(n)).converged
+
+    rng = np.random.default_rng(9)
+    rhs = [rng.standard_normal(n) for _ in range(7)]
+    svc = _service(auto_start=False, cache=False, options=opts)
+    mates = [svc.submit(SolveRequest(matrix=a_ok, b=b)) for b in rhs]
+    poisoned = svc.submit(SolveRequest(matrix=a_bad, b=a_bad @ np.ones(n)))
+    svc.start()
+    try:
+        mate_resps = [p.result(60.0) for p in mates]
+        bad_resp = poisoned.result(60.0)
+    finally:
+        svc.close()
+
+    assert all(r.ok for r in mate_resps)
+    assert all(r.batch_width == 7 for r in mate_resps)
+    assert not any(r.recovered for r in mate_resps)
+    # the poisoned request was certified by the ladder, individually
+    assert bad_resp.ok
+    assert bad_resp.recovered
+    assert bad_resp.report.berr <= SQRT_EPS
+    assert bad_resp.report.recovery is not None
+    assert bad_resp.report.recovery.path[0] == "gesp"
+    assert bad_resp.report.recovery.final_rung != "gesp"
+    assert svc.stats()["service.recovered"] == 1
+
+
+def test_unconverged_column_retries_individually(monkeypatch, rng):
+    """The per-column retry path: solve_multi reports one column lost,
+    only that request goes through the ladder."""
+    d = random_nonsingular_dense(rng, 20, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    original = GESPSolver.solve_multi
+
+    def lying_solve_multi(self, b_block, **kw):
+        res = original(self, b_block, **kw)
+        cc = np.asarray(res.col_converged).copy()
+        cc[0] = False                    # claim the first column lost
+        return res._replace(col_converged=cc)
+
+    monkeypatch.setattr(GESPSolver, "solve_multi", lying_solve_multi)
+
+    rhs = [rng.standard_normal(20) for _ in range(4)]
+    svc = _service(auto_start=False, cache=False)
+    pending = [svc.submit(SolveRequest(matrix=a, b=b)) for b in rhs]
+    svc.start()
+    try:
+        responses = [p.result(60.0) for p in pending]
+    finally:
+        svc.close()
+    assert all(r.ok for r in responses)
+    assert responses[0].recovered        # column 0's owner went to the ladder
+    assert responses[0].report.recovery is not None
+    assert not any(r.recovered for r in responses[1:])
+    assert svc.stats()["service.recovered"] == 1
+
+
+def test_recover_disabled_returns_uncertified_report():
+    n = 40
+    a_bad = CSCMatrix.from_dense(graded_matrix(n=n, expo=-12, seed=0))
+    opts = GESPOptions(**RAW_OPTS)
+    with _service(cache=False, options=opts, recover=False) as svc:
+        resp = ServiceClient(svc).solve(a_bad, a_bad @ np.ones(n))
+    assert resp.error is None
+    assert not resp.ok                   # honest: ran, did not certify
+    assert not resp.report.converged
+    assert not resp.recovered
+
+
+# --------------------------------------------------------------------- #
+# registered matrices, lifecycle, concurrency
+# --------------------------------------------------------------------- #
+
+def test_registered_pattern_key_and_unknown_key(rng):
+    d = random_nonsingular_dense(rng, 15, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    with _service(cache=False) as svc:
+        svc.register_matrix("demo", a)
+        resp = ServiceClient(svc).solve("demo", a @ np.ones(15))
+        assert resp.ok
+        np.testing.assert_allclose(resp.x, np.ones(15), rtol=1e-8)
+        with pytest.raises(KeyError):
+            svc.submit(SolveRequest(matrix="nope", b=np.ones(15)))
+        with pytest.raises(ValueError):
+            svc.submit(SolveRequest(matrix="demo", b=np.ones(3)))
+
+
+def test_closed_service_rejects_submissions_and_completes_queued(rng):
+    a = CSCMatrix.from_dense(healthy_dense(10))
+    svc = _service(auto_start=False)
+    queued = svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    svc.close()                          # never started: nothing may hang
+    resp = queued.result(5.0)
+    assert isinstance(resp.error, ServiceClosed)
+    with pytest.raises(ServiceClosed):
+        svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+    with pytest.raises(ServiceClosed):
+        svc.start()
+    svc.close()                          # idempotent
+
+
+def test_concurrent_submitters_all_get_their_own_answer(rng):
+    """Many threads hammering submit concurrently: every caller gets a
+    certified response to *its* right-hand side."""
+    n = 24
+    d = random_nonsingular_dense(rng, n, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    solver = GESPSolver(a, cache=False)
+    n_threads, per_thread = 6, 5
+    results = {}
+    lock = threading.Lock()
+
+    with _service(max_workers=4, cache=False) as svc:
+        svc.register_matrix("m", a)
+        client = ServiceClient(svc)
+
+        def caller(tid):
+            local_rng = np.random.default_rng(1000 + tid)
+            out = []
+            for _ in range(per_thread):
+                b = local_rng.standard_normal(n)
+                out.append((b, client.solve("m", b, timeout=60.0)))
+            with lock:
+                results[tid] = out
+
+        threads = [threading.Thread(target=caller, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+
+    assert sorted(results) == list(range(n_threads))
+    for tid, out in results.items():
+        for b, resp in out:
+            assert resp.ok
+            expected = solver.solve(b)
+            np.testing.assert_allclose(resp.x, expected.x,
+                                       rtol=1e-9, atol=1e-12)
+    stats = svc.stats()
+    assert stats["service.requests"] == n_threads * per_thread
+    # every request was answered from a batch (coalesced or singleton)
+    assert stats["service.coalesce_width"] == n_threads * per_thread
+
+
+# --------------------------------------------------------------------- #
+# observability: one coherent trace from a concurrent run
+# --------------------------------------------------------------------- #
+
+def test_service_span_carries_counters_and_batch_children(rng):
+    d = random_nonsingular_dense(rng, 20, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        svc = _service(auto_start=False, cache=False)
+        pending = [svc.submit(SolveRequest(matrix=a,
+                                           b=rng.standard_normal(20)))
+                   for _ in range(5)]
+        svc.start()
+        for p in pending:
+            assert p.result(30.0).ok
+        svc.close()
+    tracer.finish()
+    spans = {s.name: s for s in tracer.root.walk()}
+    assert "service" in spans
+    service_span = spans["service"]
+    assert service_span.counters["service.requests"] == 5
+    assert service_span.counters["service.batched"] == 1
+    assert service_span.counters["service.coalesce_width"] == 5
+    batch_spans = [c for c in service_span.children
+                   if c.name == "service/batch"]
+    assert len(batch_spans) == 1
+    assert batch_spans[0].attrs["width"] == 5
+    assert batch_spans[0].attrs["fact"] == "DOFACT"
+    # the numeric work is visible *inside* the batch span
+    child_names = {s.name for s in batch_spans[0].walk()}
+    assert any("factor" in name for name in child_names)
+
+
+def test_plan_published_to_cache_for_cold_pattern(rng):
+    d = random_nonsingular_dense(rng, 18, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    cache = FactorizationCache(maxsize=4)
+    with _service(cache=cache) as svc:
+        assert ServiceClient(svc).solve(a, np.ones(18)).ok
+    assert cache.stats().size == 1       # DOFACT published its plan

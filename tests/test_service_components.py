@@ -1,0 +1,275 @@
+"""Unit tests of the service building blocks (repro.service.*).
+
+The server's end-to-end behavior is tested in test_service.py; here the
+queue, batcher, pool, and config/api surfaces are pinned in isolation so
+a concurrency failure in the integration tests points at the right
+layer.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.api import (
+    PendingSolve,
+    ServiceConfig,
+    ServiceOverloaded,
+    SolveRequest,
+    default_workers,
+)
+from repro.service.batcher import Batch, coalesce, group_key, values_signature
+from repro.service.pool import WorkerPool
+from repro.service.queue import AdmissionQueue, QueuedRequest
+from repro.driver.options import GESPOptions
+from repro.sparse import CSCMatrix
+
+from conftest import random_nonsingular_dense
+
+
+def _entry(key=("k",), deadline=None, t=0.0):
+    req = SolveRequest(matrix="m", b=np.zeros(1))
+    return QueuedRequest(request=req, pending=PendingSolve(req),
+                         matrix=None, group_key=key,
+                         options=None, t_enqueued=t, deadline=deadline)
+
+
+# --------------------------------------------------------------------- #
+# AdmissionQueue
+# --------------------------------------------------------------------- #
+
+def test_queue_fifo_and_len():
+    q = AdmissionQueue(capacity=8)
+    entries = [_entry() for _ in range(5)]
+    for e in entries:
+        q.offer(e, now=0.0)
+    assert len(q) == 5
+    assert q.drain_nowait() == entries
+    assert len(q) == 0
+
+
+def test_queue_overload_raises_when_full_of_live_entries():
+    q = AdmissionQueue(capacity=2)
+    q.offer(_entry(), now=0.0)
+    q.offer(_entry(), now=0.0)
+    with pytest.raises(ServiceOverloaded) as exc:
+        q.offer(_entry(), now=0.0)
+    assert exc.value.capacity == 2
+    assert exc.value.pending == 2
+    assert len(q) == 2                  # rejected entry was never admitted
+
+
+def test_queue_full_evicts_expired_before_shedding():
+    q = AdmissionQueue(capacity=2)
+    stale = _entry(deadline=1.0)
+    live = _entry(deadline=100.0)
+    q.offer(stale, now=0.0)
+    q.offer(live, now=0.0)
+    newcomer = _entry(deadline=100.0)
+    evicted = q.offer(newcomer, now=5.0)   # past stale's deadline
+    assert evicted == [stale]              # caller owns the rejection
+    assert q.drain_nowait() == [live, newcomer]
+
+
+def test_queue_drain_blocks_until_offer():
+    q = AdmissionQueue(capacity=4)
+    got = []
+
+    def consumer():
+        got.extend(q.drain(timeout=5.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    time.sleep(0.05)
+    e = _entry()
+    q.offer(e, now=0.0)
+    t.join(timeout=5.0)
+    assert got == [e]
+
+
+def test_queue_close_wakes_drain_and_blocks_offer():
+    q = AdmissionQueue(capacity=4)
+    results = []
+    t = threading.Thread(target=lambda: results.append(q.drain(timeout=10.0)))
+    t.start()
+    time.sleep(0.05)
+    q.close()
+    t.join(timeout=5.0)
+    assert results == [[]]
+    assert q.closed
+    with pytest.raises(RuntimeError):
+        q.offer(_entry(), now=0.0)
+    q.close()                               # idempotent
+
+
+def test_queue_entries_remain_drainable_after_close():
+    q = AdmissionQueue(capacity=4)
+    e = _entry()
+    q.offer(e, now=0.0)
+    q.close()
+    assert q.drain_nowait() == [e]
+
+
+# --------------------------------------------------------------------- #
+# batcher
+# --------------------------------------------------------------------- #
+
+def _matrix(rng, n=6, scale=1.0):
+    return CSCMatrix.from_dense(scale * random_nonsingular_dense(
+        rng, n, density=1.0, hidden_perm=False))
+
+
+def test_group_key_separates_values_but_not_rhs(rng):
+    a = _matrix(rng)
+    opts = GESPOptions()
+    assert group_key(a, opts) == group_key(a, opts)
+    a2 = CSCMatrix(a.nrows, a.ncols, a.colptr, a.rowind,
+                   a.nzval * 2.0, check=False)
+    k1, k2 = group_key(a, opts), group_key(a2, opts)
+    assert k1[0] == k2[0]               # same pattern: same plan key
+    assert k1[1] != k2[1]               # different values: no block solve
+    assert values_signature(a) != values_signature(a2)
+
+
+def test_group_key_separates_plan_shaping_options(rng):
+    a = _matrix(rng)
+    k1 = group_key(a, GESPOptions())
+    k2 = group_key(a, GESPOptions(col_perm="natural"))
+    assert k1[0] != k2[0]
+
+
+def test_coalesce_groups_preserve_arrival_order():
+    e1, e2, e3, e4 = (_entry(key=("a",)), _entry(key=("b",)),
+                      _entry(key=("a",)), _entry(key=("b",)))
+    batches = coalesce([e1, e2, e3, e4], max_batch=32)
+    assert [b.key for b in batches] == [("a",), ("b",)]
+    assert batches[0].entries == [e1, e3]
+    assert batches[1].entries == [e2, e4]
+    assert batches[0].width == 2
+
+
+def test_coalesce_splits_oversize_groups():
+    entries = [_entry(key=("a",)) for _ in range(7)]
+    batches = coalesce(entries, max_batch=3)
+    assert [b.width for b in batches] == [3, 3, 1]
+    assert [e for b in batches for e in b.entries] == entries
+
+
+def test_coalesce_rejects_bad_max_batch():
+    with pytest.raises(ValueError):
+        coalesce([], max_batch=0)
+
+
+# --------------------------------------------------------------------- #
+# WorkerPool
+# --------------------------------------------------------------------- #
+
+def test_pool_runs_jobs_and_waits_idle():
+    pool = WorkerPool(max_workers=3)
+    done = []
+    lock = threading.Lock()
+
+    def job(i):
+        with lock:
+            done.append(i)
+
+    for i in range(20):
+        pool.submit(job, i)
+    assert pool.wait_idle(timeout=10.0)
+    assert sorted(done) == list(range(20))
+    pool.shutdown()
+    assert pool.failures == []
+
+
+def test_pool_error_hook_receives_job_and_exception():
+    seen = []
+    pool = WorkerPool(max_workers=1, on_error=lambda job, exc:
+                      seen.append((job[1], type(exc))))
+
+    def boom(tag):
+        raise ValueError(tag)
+
+    pool.submit(boom, "x")
+    assert pool.wait_idle(timeout=10.0)
+    pool.shutdown()
+    assert seen == [(("x",), ValueError)]
+    assert pool.failures == []          # the hook handled it
+
+
+def test_pool_crashing_hook_lands_in_failures():
+    def bad_hook(job, exc):
+        raise RuntimeError("hook bug")
+
+    pool = WorkerPool(max_workers=1, on_error=bad_hook)
+    pool.submit(lambda: (_ for _ in ()).throw(ValueError("job bug")))
+    assert pool.wait_idle(timeout=10.0)
+    pool.shutdown()
+    assert len(pool.failures) == 1
+
+
+def test_pool_shutdown_rejects_new_work_but_finishes_queued():
+    pool = WorkerPool(max_workers=1)
+    gate = threading.Event()
+    ran = []
+    pool.submit(gate.wait, 10.0)
+    pool.submit(ran.append, 1)
+    gate.set()
+    pool.shutdown(wait=True)
+    assert ran == [1]
+    with pytest.raises(RuntimeError):
+        pool.submit(ran.append, 2)
+
+
+# --------------------------------------------------------------------- #
+# config / api
+# --------------------------------------------------------------------- #
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_WORKERS", "7")
+    assert default_workers() == 7
+    assert ServiceConfig().workers == 7
+    monkeypatch.setenv("REPRO_SERVICE_WORKERS", "0")
+    with pytest.raises(ValueError):
+        default_workers()
+    monkeypatch.delenv("REPRO_SERVICE_WORKERS")
+    assert 1 <= default_workers() <= 4
+
+
+def test_service_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(queue_capacity=0).validate()
+    with pytest.raises(ValueError):
+        ServiceConfig(batch_window=-1.0).validate()
+    with pytest.raises(ValueError):
+        ServiceConfig(max_batch=0).validate()
+    with pytest.raises(ValueError):
+        ServiceConfig(max_workers=0).validate()
+
+
+def test_solve_request_validation(rng):
+    a = _matrix(rng, n=4)
+    SolveRequest(matrix=a, b=np.zeros(4)).validate()
+    with pytest.raises(ValueError):
+        SolveRequest(matrix=a, b=np.zeros(5)).validate()
+    with pytest.raises(ValueError):
+        SolveRequest(matrix=a, b=np.zeros((4, 1))).validate()
+    with pytest.raises(ValueError):
+        SolveRequest(matrix=a, b=np.zeros(4), deadline=-1.0).validate()
+    with pytest.raises(TypeError):
+        SolveRequest(matrix=42, b=np.zeros(4)).validate()
+
+
+def test_pending_solve_completes_once():
+    req = SolveRequest(matrix="m", b=np.zeros(1))
+    p = PendingSolve(req)
+    assert not p.done()
+    with pytest.raises(TimeoutError):
+        p.result(timeout=0.01)
+    from repro.service.api import SolveResponse
+
+    first = SolveResponse(request_id="a")
+    p._complete(first)
+    p._complete(SolveResponse(request_id="b"))
+    assert p.done()
+    assert p.result(timeout=1.0) is first

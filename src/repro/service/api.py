@@ -263,6 +263,7 @@ class PendingSolve:
     def __init__(self, request: SolveRequest):
         self.request = request
         self._done = threading.Event()
+        self._lock = threading.Lock()
         self._response: SolveResponse | None = None
 
     def done(self) -> bool:
@@ -277,7 +278,11 @@ class PendingSolve:
         return self._response
 
     def _complete(self, response: SolveResponse):
-        if self._done.is_set():          # first completion wins
-            return
-        self._response = response
-        self._done.set()
+        # locked, not a bare is_set() check: two completion paths can
+        # race (worker completion vs. the pool's crash hook) and a
+        # waiter must never observe the response change under it
+        with self._lock:
+            if self._done.is_set():      # first completion wins
+                return
+            self._response = response
+            self._done.set()

@@ -3,18 +3,26 @@
 The whole point of static pivoting is that one analysis serves many
 numeric factorizations (paper §1, §3); the batcher is where the service
 cashes that in.  Requests coalesce when they would share *all* numeric
-work — same sparsity pattern, same plan-shaping options, same values —
-which the service encodes as one tuple:
+work — same sparsity pattern, same plan-shaping options, same values,
+same numeric (pivoting/refinement) options — which the service encodes
+as one tuple:
 
     group_key = (serial_plan_key(pattern_fingerprint, options),
-                 values_signature)
+                 values_signature,
+                 factor_options_key + solve_options_key)
 
 ``serial_plan_key`` is exactly the :mod:`repro.driver.factcache` cache
 key, so "coalescible" and "plan-cache compatible" can never drift apart;
 the values signature (a blake2b of the nonzero values) splits same-
 pattern-different-values requests into separate batches that still share
 the cached plan through ``SAME_PATTERN`` refactorization — they ride the
-fast path, just not the same block solve.
+fast path, just not the same block solve.  The third component covers
+every ``GESPOptions`` field that changes the numeric answer without
+shaping the plan: the pivot-replacement policy (which changes the
+factors) and the refinement controls (which change what "converged"
+certifies).  Without it, a request with a stricter ``refine_eps`` could
+be folded into a batch refined against a looser target and reported
+converged against a contract it never met.
 
 Pure functions, deterministic: groups keep first-arrival order, members
 keep queue order, oversize groups split into ``max_batch`` chunks.
@@ -29,7 +37,14 @@ from repro.driver.factcache import serial_plan_key
 from repro.service.queue import QueuedRequest
 from repro.sparse.ops import pattern_fingerprint
 
-__all__ = ["Batch", "coalesce", "group_key", "values_signature"]
+__all__ = [
+    "Batch",
+    "coalesce",
+    "factor_options_key",
+    "group_key",
+    "solve_options_key",
+    "values_signature",
+]
 
 
 def values_signature(a) -> str:
@@ -40,22 +55,39 @@ def values_signature(a) -> str:
     return h.hexdigest()
 
 
+def factor_options_key(options) -> tuple:
+    """The ``GESPOptions`` fields that change the numeric *factors* but
+    not the plan: two solves that differ here can share orderings and
+    symbolic analysis, never a factorization."""
+    return (options.replace_tiny_pivots, options.tiny_pivot_scale,
+            options.aggressive_pivot_replacement,
+            options.diag_block_pivoting)
+
+
+def solve_options_key(options) -> tuple:
+    """The ``GESPOptions`` fields that change the *solve* (refinement
+    target, step cap, residual precision) but not the factors."""
+    return (options.refine, options.refine_max_steps, options.refine_eps,
+            options.refine_stagnation, options.extra_precision_residual)
+
+
 def group_key(a, options) -> tuple:
     """The coalescing key of one (matrix, options) pair."""
     return (serial_plan_key(pattern_fingerprint(a), options),
-            values_signature(a))
+            values_signature(a),
+            factor_options_key(options) + solve_options_key(options))
 
 
 @dataclass
 class Batch:
     """One unit of worker-pool work: entries sharing a ``group_key``.
 
-    All members have the same matrix (pattern *and* values) and
-    plan-shaping options, so the worker runs one factorization — cold
-    for a pattern the service has not seen, ``SAME_PATTERN`` when a
-    solver exists with stale values, no refactorization at all when the
-    values match — and one ``solve_multi`` over the stacked right-hand
-    sides.
+    All members have the same matrix (pattern *and* values) and the
+    same plan-shaping *and* numeric options, so the worker runs one
+    factorization — cold for a pattern the service has not seen,
+    ``SAME_PATTERN`` when a solver exists with stale values or a stale
+    pivot policy, no refactorization at all when both match — and one
+    ``solve_multi`` over the stacked right-hand sides.
     """
 
     key: tuple
@@ -69,6 +101,11 @@ class Batch:
     def plan_key(self) -> tuple:
         """The factcache plan key shared by every member."""
         return self.key[0]
+
+    @property
+    def pattern_fingerprint(self) -> str:
+        """The sparsity-pattern fingerprint inside the plan key."""
+        return self.key[0][1]
 
     @property
     def values_sig(self) -> str:

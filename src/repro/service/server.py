@@ -7,7 +7,10 @@ Request lifecycle (docs/SERVICE.md has the full walkthrough)::
          │                      DeadlineExceeded to make room)
          ▼
     dispatcher thread ── waits batch_window for burst-mates, then
-         │               coalesces by (plan key, values signature)
+         │               coalesces by (plan key, values signature,
+         │               numeric options); holds at most
+         │               workers·max_batch entries so backpressure
+         │               stays armed under overload
          ▼
     WorkerPool ── per batch, under that pattern's lock:
          │          cold pattern   → DOFACT factorization, plan published
@@ -51,7 +54,12 @@ from repro.service.api import (
     SolveRequest,
     SolveResponse,
 )
-from repro.service.batcher import Batch, coalesce, group_key
+from repro.service.batcher import (
+    Batch,
+    coalesce,
+    factor_options_key,
+    group_key,
+)
 from repro.service.pool import WorkerPool
 from repro.service.queue import AdmissionQueue, QueuedRequest
 from repro.sparse.csc import CSCMatrix
@@ -253,25 +261,33 @@ class SolveService:
 
     def _dispatch_loop(self):
         cfg = self.config
+        # the dispatcher never holds more than one round of work per
+        # worker: anything beyond stays in the *bounded* queue, where a
+        # full queue sheds new submissions with ServiceOverloaded —
+        # absorbing without a cap would turn sustained overload into
+        # unbounded dispatcher-local memory and disarm backpressure
+        hold_cap = cfg.workers * cfg.max_batch
         while True:
-            entries = self._queue.drain(timeout=0.05)
+            entries = self._queue.drain(timeout=0.05, max_items=hold_cap)
             if not entries:
                 if self._queue.closed:
                     return
                 continue
-            if cfg.batch_window > 0:
+            if cfg.batch_window > 0 and len(entries) < hold_cap:
                 # give the rest of a burst time to arrive: this wait is
                 # what turns N concurrent submits into one block solve
                 time.sleep(cfg.batch_window)
-                entries += self._queue.drain_nowait()
+                entries += self._queue.drain_nowait(hold_cap - len(entries))
             # adaptive batching under load: while every worker is busy,
             # nothing dispatched now could start anyway — keep absorbing
-            # arrivals so a backlog coalesces into wide block solves
-            # instead of a convoy of singletons
+            # arrivals (up to hold_cap) so a backlog coalesces into wide
+            # block solves instead of a convoy of singletons
             while (self._pool.pending >= cfg.workers
                    and not self._queue.closed):
                 time.sleep(cfg.batch_window or 0.0005)
-                entries += self._queue.drain_nowait()
+                if len(entries) < hold_cap:
+                    entries += self._queue.drain_nowait(
+                        hold_cap - len(entries))
             now = _clock()
             live = []
             for e in entries:
@@ -323,15 +339,27 @@ class SolveService:
         self._merge_batch_trace(bt, batch, len(live), fact)
 
     def _ensure_factored(self, state: _PatternState, batch: Batch) -> str:
-        """Bring the pattern's solver up to date with the batch's values;
-        returns the reuse mode that ran."""
+        """Bring the pattern's solver up to date with the batch's values
+        *and options*; returns the reuse mode that ran."""
+        opts = dataclasses.replace(batch.options, fact="DOFACT")
         if state.solver is None:
-            opts = dataclasses.replace(batch.options, fact="DOFACT")
             state.solver = GESPSolver(batch.matrix, opts,
                                       cache=self._cache)
             state.values_sig = batch.values_sig
             return "DOFACT"
-        if state.values_sig != batch.values_sig:
+        prev = state.solver.options
+        if prev != opts:
+            # the pattern state is keyed on the plan key, so every batch
+            # reaching it shares the plan-shaping fields — swapping the
+            # options can change numeric/solve behavior (refine_eps,
+            # pivot policy, ...) but never invalidates the orderings or
+            # the symbolic analysis the solver holds
+            state.solver.options = opts
+        if (state.values_sig != batch.values_sig
+                or factor_options_key(prev) != factor_options_key(opts)):
+            # new values, or a pivot policy the current factors were not
+            # computed under: re-run the numeric kernels through the
+            # SAME_PATTERN fast path
             state.solver.refactor(batch.matrix, fact="SAME_PATTERN")
             state.values_sig = batch.values_sig
             return "SAME_PATTERN"
@@ -456,7 +484,8 @@ class SolveService:
             return
         root = bt.finish()
         root.attrs.update(width=width, fact=fact,
-                          pattern=batch.key[1][:12])
+                          pattern=batch.pattern_fingerprint[:12],
+                          values=batch.values_sig[:12])
         with self._obs_lock:
             if self._span is not None:
                 self._span.children.append(root)

@@ -130,6 +130,56 @@ def test_same_pattern_different_values_do_not_share_a_block_solve(rng):
     assert svc.stats()["service.batched"] == 2
 
 
+def test_per_request_solve_options_split_batches_and_are_honored(rng):
+    """A request with its own refinement target never coalesces into a
+    batch refined against a different target, and the shared pattern
+    solver is reconciled to each batch's options (not frozen at the
+    first request's)."""
+    d = random_nonsingular_dense(rng, 20, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    loose = GESPOptions(refine_eps=1e-6)
+    strict = GESPOptions()               # machine-eps target
+    svc = _service(auto_start=False, cache=False)
+    p1 = svc.submit(SolveRequest(matrix=a, b=np.ones(20), options=loose))
+    p2 = svc.submit(SolveRequest(matrix=a, b=2 * np.ones(20),
+                                 options=strict))
+    svc.start()
+    try:
+        r1, r2 = p1.result(30.0), p2.result(30.0)
+    finally:
+        svc.close()
+    assert r1.ok and r2.ok
+    assert r1.batch_width == 1 and r2.batch_width == 1
+    assert svc.stats()["service.batched"] == 2
+    # each report certifies against *its* target, not its neighbor's
+    assert r1.report.berr <= 1e-6
+    assert r2.report.berr <= np.finfo(np.float64).eps
+    # identical values + identical plan: the second batch reused the
+    # factors as-is, only the solve options were swapped in
+    assert {r1.fact, r2.fact} == {"DOFACT", "FACTORED"}
+
+
+def test_factor_option_change_forces_refactor_not_reuse(rng):
+    """Same values but a different pivot policy: the cached factors are
+    invalid for the new batch, so it must re-run the numeric kernels."""
+    d = random_nonsingular_dense(rng, 20, density=0.5, hidden_perm=False)
+    a = CSCMatrix.from_dense(d)
+    svc = _service(auto_start=False, cache=False)
+    p1 = svc.submit(SolveRequest(matrix=a, b=np.ones(20),
+                                 options=GESPOptions()))
+    p2 = svc.submit(SolveRequest(
+        matrix=a, b=np.ones(20),
+        options=GESPOptions(replace_tiny_pivots=False)))
+    svc.start()
+    try:
+        r1, r2 = p1.result(30.0), p2.result(30.0)
+    finally:
+        svc.close()
+    assert r1.ok and r2.ok
+    assert r1.batch_width == 1 and r2.batch_width == 1
+    assert {r1.fact, r2.fact} == {"DOFACT", "SAME_PATTERN"}
+
+
 # --------------------------------------------------------------------- #
 # acceptance: overload and deadline are structured, never silent
 # --------------------------------------------------------------------- #
@@ -145,6 +195,45 @@ def test_full_queue_rejects_with_service_overloaded(rng):
     assert svc.stats()["service.rejected_overload"] == 1
     assert svc.stats()["service.requests"] == 2
     svc.close()
+
+
+def test_overload_sheds_even_while_workers_are_busy(monkeypatch, rng):
+    """The dispatcher's absorb loop must not drain the bounded queue
+    into unbounded local state while the pool is saturated: with every
+    worker blocked, the queue fills and submit() sheds load."""
+    a = CSCMatrix.from_dense(healthy_dense(10))
+    gate = threading.Event()
+    original = SolveService._run_batch
+
+    def gated_run_batch(self, batch):
+        gate.wait(60.0)
+        original(self, batch)
+
+    monkeypatch.setattr(SolveService, "_run_batch", gated_run_batch)
+    svc = _service(max_workers=1, max_batch=1, queue_capacity=2,
+                   batch_window=0.0, cache=False)
+    try:
+        pending = []
+        # one batch blocks the only worker; the dispatcher may hold at
+        # most workers*max_batch = 1 more entry
+        for _ in range(2):
+            pending.append(svc.submit(SolveRequest(matrix=a,
+                                                   b=np.ones(10))))
+            time.sleep(0.3)              # let the dispatcher pick it up
+        # the next two fill the bounded queue ...
+        for _ in range(2):
+            pending.append(svc.submit(SolveRequest(matrix=a,
+                                                   b=np.ones(10))))
+        # ... so sustained overload is shed at admission, not absorbed
+        with pytest.raises(ServiceOverloaded):
+            svc.submit(SolveRequest(matrix=a, b=np.ones(10)))
+        assert svc.stats()["service.rejected_overload"] == 1
+        gate.set()
+        responses = [p.result(60.0) for p in pending]
+        assert all(r.ok for r in responses)
+    finally:
+        gate.set()
+        svc.close()
 
 
 def test_expired_entries_are_evicted_to_admit_new_work(rng):

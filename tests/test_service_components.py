@@ -19,7 +19,14 @@ from repro.service.api import (
     SolveRequest,
     default_workers,
 )
-from repro.service.batcher import Batch, coalesce, group_key, values_signature
+from repro.service.batcher import (
+    Batch,
+    coalesce,
+    factor_options_key,
+    group_key,
+    solve_options_key,
+    values_signature,
+)
 from repro.service.pool import WorkerPool
 from repro.service.queue import AdmissionQueue, QueuedRequest
 from repro.driver.options import GESPOptions
@@ -137,6 +144,27 @@ def test_group_key_separates_plan_shaping_options(rng):
     k1 = group_key(a, GESPOptions())
     k2 = group_key(a, GESPOptions(col_perm="natural"))
     assert k1[0] != k2[0]
+
+
+def test_group_key_separates_numeric_options(rng):
+    """Solve- and factor-affecting options that don't shape the plan
+    still split batches: a stricter refine_eps must never be certified
+    against a looser batch target, and a different pivot policy never
+    shares factors."""
+    a = _matrix(rng)
+    k1 = group_key(a, GESPOptions())
+    k2 = group_key(a, GESPOptions(refine_eps=1e-6))
+    k3 = group_key(a, GESPOptions(replace_tiny_pivots=False))
+    assert k1[0] == k2[0] == k3[0]       # same plan key (shared state)
+    assert k1[1] == k2[1] == k3[1]       # same values signature
+    assert len({k1, k2, k3}) == 3        # but never the same block solve
+    # the sub-keys tell the server whether a refactor is needed
+    assert factor_options_key(GESPOptions()) == \
+        factor_options_key(GESPOptions(refine_eps=1e-6))
+    assert factor_options_key(GESPOptions()) != \
+        factor_options_key(GESPOptions(replace_tiny_pivots=False))
+    assert solve_options_key(GESPOptions()) != \
+        solve_options_key(GESPOptions(refine_eps=1e-6))
 
 
 def test_coalesce_groups_preserve_arrival_order():
@@ -273,3 +301,29 @@ def test_pending_solve_completes_once():
     p._complete(SolveResponse(request_id="b"))
     assert p.done()
     assert p.result(timeout=1.0) is first
+
+
+def test_pending_solve_racing_completions_have_one_winner():
+    """Two completion paths can race (worker vs. the pool's crash
+    hook): exactly one response may ever be observed."""
+    from repro.service.api import SolveResponse
+
+    for _ in range(20):
+        req = SolveRequest(matrix="m", b=np.zeros(1))
+        p = PendingSolve(req)
+        responses = [SolveResponse(request_id=str(i)) for i in range(8)]
+        barrier = threading.Barrier(len(responses))
+
+        def racer(resp, p=p, barrier=barrier):
+            barrier.wait()
+            p._complete(resp)
+
+        threads = [threading.Thread(target=racer, args=(r,))
+                   for r in responses]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        winner = p.result(timeout=1.0)
+        assert winner in responses
+        assert p.result(timeout=1.0) is winner   # never overwritten

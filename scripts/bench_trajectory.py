@@ -58,8 +58,18 @@ Schema ``bench_service/v1``::
       "open_loop": {"mix", "completed", "rejected", "expired", "failed",
                     "elapsed_seconds", "throughput_rps", "rate_rps",
                     "p50_latency_seconds", "p99_latency_seconds",
-                    "batches", "mean_width"}
+                    "batches", "mean_width"},
+      "sharded_open_loop": {"mix", "requests", "seed", "cpus",
+                            "shards": [{"shards", "throughput_rps", ...}],
+                            "scaling", "scaling_floor", "floor_enforced",
+                            "bit_identical"}
     }
+
+The ``sharded_open_loop`` key (additive; the schema stays v1) drives
+the same seeded stream through the multi-process sharded tier at 1 and
+``--shards`` shards.  Its >=1.7x scaling floor is enforced only when
+``floor_enforced`` is true — i.e. the host has at least ``--shards``
+CPUs; the bit-identity requirement is enforced unconditionally.
 
 The acceptance floors (warm >= 1.3x cold; vectorized >= 1.5x reference;
 coalesced burst >= 2x sequential) are asserted here as well as in the
@@ -142,6 +152,7 @@ def run_service(args):
     from bench_service import (
         SPEEDUP_FLOOR,
         open_loop_trajectory,
+        sharded_open_loop,
         warm_burst_comparison,
     )
 
@@ -149,6 +160,8 @@ def run_service(args):
                                  rounds=args.rounds, seed=args.seed)
     loop = open_loop_trajectory(requests=args.requests, rate=args.rate,
                                 seed=args.seed)
+    sharded = sharded_open_loop(requests=args.requests, seed=args.seed,
+                                shard_counts=(1, args.shards))
     record = {
         "schema": "bench_service/v1",
         "matrix": comp["matrix"],
@@ -162,6 +175,7 @@ def run_service(args):
         "speedup": comp["speedup"],
         "speedup_floor": SPEEDUP_FLOOR,
         "open_loop": loop,
+        "sharded_open_loop": sharded,
     }
     out = pathlib.Path(args.out or (ROOT / "BENCH_service.json"))
     out.write_text(json.dumps(record, indent=2) + "\n")
@@ -173,6 +187,15 @@ def run_service(args):
           f"{loop['p50_latency_seconds'] * 1e3:.1f}ms, p99 "
           f"{loop['p99_latency_seconds'] * 1e3:.1f}ms, mean batch width "
           f"{loop['mean_width']:.2f}")
+    for row in sharded["shards"]:
+        print(f"sharded open loop ({'+'.join(sharded['mix'])}): "
+              f"{row['shards']} shard(s) -> "
+              f"{row['throughput_rps']:.1f}/s")
+    print(f"sharded scaling 1->{sharded['shards'][-1]['shards']}: "
+          f"{sharded['scaling']:.2f}x (floor {sharded['scaling_floor']}x, "
+          f"{'enforced' if sharded['floor_enforced'] else 'not enforced'}"
+          f" on {sharded['cpus']} cpu), bit-identical: "
+          f"{sharded['bit_identical']}")
     print(f"written: {out}")
     if comp["speedup"] < SPEEDUP_FLOOR:
         print("FAIL: coalesced burst below the speedup floor",
@@ -180,6 +203,15 @@ def run_service(args):
         return 1
     if loop["failed"] or loop["rejected"] or loop["expired"]:
         print("FAIL: open-loop run shed or failed requests",
+              file=sys.stderr)
+        return 1
+    if not sharded["bit_identical"]:
+        print("FAIL: sharded tier solutions not bit-identical to the "
+              "in-process service", file=sys.stderr)
+        return 1
+    if sharded["floor_enforced"] and \
+            sharded["scaling"] < sharded["scaling_floor"]:
+        print("FAIL: sharded tier below the 1->N scaling floor",
               file=sys.stderr)
         return 1
     return 0
@@ -206,6 +238,10 @@ def main(argv=None):
     ap.add_argument("--rate", type=float, default=300.0,
                     help="open-loop arrival rate in requests/second "
                          "(service mode only)")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="upper shard count for the sharded open-loop "
+                         "row, compared against 1 shard (service mode "
+                         "only)")
     ap.add_argument("--seed", type=int, default=20260806)
     ap.add_argument("--out", default=None,
                     help="output path (default: repo-root "

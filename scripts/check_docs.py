@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""Docs lint: keep ARCHITECTURE.md and OBSERVABILITY.md honest.
+"""Docs lint: keep the docs/ tree honest.
 
 Checks (run in the test suite via tests/test_docs_lint.py, or directly
 with ``PYTHONPATH=src python scripts/check_docs.py``):
 
-1. every package under ``src/repro/`` is mentioned in
-   ``docs/ARCHITECTURE.md`` (as ``repro.<name>``), so the module map
-   cannot silently go stale when a package is added;
+1. every package under ``src/repro/`` — including nested subpackages —
+   is mentioned in ``docs/ARCHITECTURE.md`` (as ``repro.<dotted name>``),
+   so the module map cannot silently go stale when a package is added;
 2. every counter in the :data:`repro.obs.counters.COUNTERS` catalog is
    documented in ``docs/OBSERVABILITY.md``, so the counter reference
-   stays complete.
+   stays complete;
+3. every ``docs/*.md`` file is linked from the ``docs/README.md``
+   index, so a new doc cannot be orphaned;
+4. every ``--flag`` of every ``python -m repro`` command (enumerated
+   from the real parser, ``repro.__main__.build_parser``) is mentioned
+   in at least one doc under ``docs/``, so the CLI surface and its
+   documentation cannot drift apart.
 """
 
 from __future__ import annotations
@@ -19,14 +25,22 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
-ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
-OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+DOCS = REPO / "docs"
+ARCHITECTURE = DOCS / "ARCHITECTURE.md"
+OBSERVABILITY = DOCS / "OBSERVABILITY.md"
+DOCS_INDEX = DOCS / "README.md"
 
 
 def repro_packages():
-    """All repro subpackage names (directories with an __init__.py)."""
-    return sorted(p.name for p in SRC.iterdir()
-                  if p.is_dir() and (p / "__init__.py").is_file())
+    """All repro subpackage names (directories with an __init__.py),
+    dotted for nesting — e.g. ``service`` and ``service.shard``."""
+    names = []
+    for init in SRC.rglob("__init__.py"):
+        pkg = init.parent
+        if pkg == SRC:
+            continue
+        names.append(".".join(pkg.relative_to(SRC).parts))
+    return sorted(names)
 
 
 def missing_packages(text=None):
@@ -46,6 +60,56 @@ def missing_counters(text=None):
     return [name for name in counter_names() if name not in text]
 
 
+def docs_files():
+    """Every doc under docs/ that the index must link (not itself)."""
+    return sorted(p.name for p in DOCS.glob("*.md")
+                  if p.name != DOCS_INDEX.name)
+
+
+def missing_from_index(text=None):
+    """docs/*.md files the docs/README.md index never links.
+
+    A link counts in any markdown form that names the file —
+    ``[...](SHARDING.md)`` or a bare mention; what matters is that the
+    index acknowledges the doc exists.
+    """
+    if text is None:
+        text = DOCS_INDEX.read_text(encoding="utf-8")
+    return [name for name in docs_files() if name not in text]
+
+
+def cli_flags():
+    """Every ``--flag`` the ``python -m repro`` parser accepts
+    (global flags plus each subcommand's), deduplicated, ``--help``
+    excluded."""
+    import argparse
+
+    from repro.__main__ import build_parser
+
+    flags = set()
+
+    def walk(parser):
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+                continue
+            for opt in action.option_strings:
+                if opt.startswith("--") and opt != "--help":
+                    flags.add(opt)
+
+    walk(build_parser())
+    return sorted(flags)
+
+
+def undocumented_flags(text=None):
+    """CLI flags that appear in no doc under docs/."""
+    if text is None:
+        text = "\n".join(p.read_text(encoding="utf-8")
+                         for p in sorted(DOCS.glob("*.md")))
+    return [flag for flag in cli_flags() if flag not in text]
+
+
 def main():
     status = 0
     if not ARCHITECTURE.is_file():
@@ -62,9 +126,21 @@ def main():
         for name in missing_counters():
             print(f"docs/OBSERVABILITY.md: counter {name} not documented")
             status = 1
+    if not DOCS_INDEX.is_file():
+        print(f"missing: {DOCS_INDEX}")
+        status = 1
+    else:
+        for name in missing_from_index():
+            print(f"docs/README.md: {name} not linked from the index")
+            status = 1
+    for flag in undocumented_flags():
+        print(f"docs/: CLI flag {flag} not documented in any doc")
+        status = 1
     if status == 0:
         print("docs lint: OK "
-              f"({len(repro_packages())} packages, all counters documented)")
+              f"({len(repro_packages())} packages, all counters "
+              f"documented, {len(docs_files())} docs indexed, "
+              f"{len(cli_flags())} CLI flags documented)")
     return status
 
 

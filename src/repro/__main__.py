@@ -10,7 +10,8 @@ Commands:
   comparing with/without the MC64 step;
 - ``serve``    — run the concurrent solve service (repro.service) under
   a synthetic open-loop client and report throughput, latency
-  percentiles, and coalescing width;
+  percentiles, and coalescing width; ``--shards N`` serves through the
+  sharded multi-process tier (repro.service.shard) instead;
 - ``testbed``  — list the built-in testbed matrices.
 
 Matrix files may be Matrix Market (``.mtx``) or Harwell-Boeing
@@ -297,11 +298,13 @@ def cmd_iterative(args):
 
 
 def cmd_serve(args):
-    """``serve``: run the concurrent solve service against a synthetic
-    open-loop client (docs/SERVICE.md)."""
+    """``serve``: run the solve service — in-process, or the sharded
+    multi-process tier with ``--shards N`` — against a synthetic
+    open-loop client (docs/SERVICE.md, docs/SHARDING.md)."""
     from repro.matrices import matrix_by_name
     from repro.service import (
         ServiceConfig,
+        ShardedSolveService,
         SolveService,
         run_open_loop,
         synthetic_workload,
@@ -320,19 +323,33 @@ def cmd_serve(args):
     print(f"service          : {cfg.workers} workers, queue "
           f"{cfg.queue_capacity}, batch window {cfg.batch_window * 1e3:.1f}ms,"
           f" max batch {cfg.max_batch}")
+    if args.shards:
+        print(f"sharded tier     : {args.shards} shard processes"
+              + (f", spool {args.spool_dir}" if args.spool_dir else "")
+              + (f", replicate above {args.hot_rps:.0f} req/s"
+                 if args.hot_rps else ""))
     print(f"pattern mix      : {', '.join(f'{k} (n={a.ncols})' for k, a in sorted(matrices.items()))}")
     print(f"workload         : {args.requests} requests, "
           + (f"{args.rate:.0f}/s open loop" if args.rate else "single burst")
           + (f", {args.deadline * 1e3:.0f}ms deadline"
              if args.deadline is not None else ""))
-    with SolveService(cfg) as svc:
+    if args.shards:
+        service = ShardedSolveService(shards=args.shards, config=cfg,
+                                      spool_dir=args.spool_dir,
+                                      hot_rps=args.hot_rps,
+                                      auto_start=False)
+    else:
+        service = SolveService(cfg)
+    with service as svc:
         for key, a in matrices.items():
             svc.register_matrix(key, a)
         workload = synthetic_workload(matrices, args.requests,
                                       seed=args.seed)
         res = run_open_loop(svc, workload, rate=args.rate,
                             deadline=args.deadline)
-        stats = svc.stats()
+    # after close: the sharded tier merges its drained shards' inner
+    # service.* counters into stats() (both services report post-close)
+    stats = svc.stats()
     s = res.summary()
     batches = stats.get("service.batched", 0)
     width = stats.get("service.coalesce_width", 0)
@@ -348,6 +365,19 @@ def cmd_serve(args):
     if stats.get("service.recovered"):
         print(f"recovered        : {stats['service.recovered']} requests "
               "via the recovery ladder")
+    if args.shards:
+        print(f"shard routing    : "
+              f"{stats.get('service.shard.requests', 0):.0f} routed, "
+              f"{stats.get('service.shard.rejected_overload', 0):.0f} shed, "
+              f"{stats.get('service.shard.deaths', 0):.0f} deaths / "
+              f"{stats.get('service.shard.respawns', 0):.0f} respawns, "
+              f"{stats.get('service.shard.replicated', 0):.0f} patterns "
+              "replicated")
+        if args.spool_dir:
+            print(f"warm-start spool : "
+                  f"{stats.get('service.shard.spool_loaded', 0):.0f} plans "
+                  f"loaded, {stats.get('service.shard.spool_saved', 0):.0f} "
+                  "saved")
     return 0 if s["failed"] == 0 else 1
 
 
@@ -361,7 +391,9 @@ def cmd_testbed(args):
     return 0
 
 
-def main(argv=None):
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (separate from :func:`main` so tooling —
+    scripts/check_docs.py's flag lint — can enumerate every flag)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="GESP: sparse Gaussian elimination with static pivoting")
@@ -470,12 +502,27 @@ def main(argv=None):
                         "it are evicted with DeadlineExceeded")
     p.add_argument("--seed", type=int, default=0,
                    help="workload RNG seed (default: 0)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="serve through the sharded multi-process tier "
+                        "with N worker processes (default: 0 = the "
+                        "in-process service; see docs/SHARDING.md)")
+    p.add_argument("--spool-dir", metavar="PATH", default=None,
+                   help="warm-start spool directory for the sharded "
+                        "tier: PatternPlans persist here so restarted "
+                        "shards skip the cold DOFACT analysis")
+    p.add_argument("--hot-rps", type=float, default=None, metavar="RPS",
+                   help="replicate a pattern onto a second shard once "
+                        "it sustains this request rate (default: no "
+                        "replication)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("testbed", help="list built-in testbed matrices")
     p.set_defaults(fn=cmd_testbed)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
     if not (args.trace or args.trace_json):
         return args.fn(args)
 

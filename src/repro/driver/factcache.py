@@ -153,6 +153,15 @@ class FactorizationCache:
             add("cache.evictions", evicted)
         return plan
 
+    def snapshot(self) -> list[PatternPlan]:
+        """The stored plans, LRU-oldest first (a consistent copy).
+
+        The warm-start spool (:mod:`repro.service.shard.spool`) iterates
+        this to persist plans across process restarts.
+        """
+        with self._lock:
+            return list(self._plans.values())
+
     def clear(self):
         with self._lock:
             self._plans.clear()

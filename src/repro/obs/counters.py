@@ -194,6 +194,50 @@ COUNTERS = (
         "and that were then certified individually by the recovery "
         "ladder."),
     CounterSpec(
+        "service.shard.requests", "request",
+        "repro/service/shard/router.py",
+        "Requests admitted and routed by the sharded tier's front-end "
+        "router (rejections are counted by "
+        "service.shard.rejected_overload instead)."),
+    CounterSpec(
+        "service.shard.completed", "request",
+        "repro/service/shard/router.py",
+        "Responses delivered back to callers by the response pump "
+        "(success or structured error; requests failed by a shard "
+        "death are not completed by the pump and show up in "
+        "service.shard.deaths instead)."),
+    CounterSpec(
+        "service.shard.rejected_overload", "request",
+        "repro/service/shard/router.py",
+        "Requests shed by per-shard admission control: the routed "
+        "shard's in-flight window was full (the ServiceOverloaded "
+        "error names the shard; other shards keep admitting)."),
+    CounterSpec(
+        "service.shard.deaths", "death",
+        "repro/service/shard/router.py",
+        "Worker processes the liveness monitor found dead; each death "
+        "fails that shard's in-flight requests with ShardDied."),
+    CounterSpec(
+        "service.shard.respawns", "process",
+        "repro/service/shard/router.py",
+        "Dead worker processes respawned by the monitor (registered "
+        "matrices are replayed; the spool makes the respawn warm)."),
+    CounterSpec(
+        "service.shard.replicated", "pattern",
+        "repro/service/shard/router.py",
+        "Hot patterns replicated onto their second-ranked HRW shard "
+        "after sustaining the hot_rps request rate."),
+    CounterSpec(
+        "service.shard.spool_loaded", "plan",
+        "repro/service/shard/router.py",
+        "PatternPlans shard workers preloaded from the warm-start "
+        "spool at (re)start — factorizations that will skip DOFACT."),
+    CounterSpec(
+        "service.shard.spool_saved", "plan",
+        "repro/service/shard/router.py",
+        "PatternPlans shard workers persisted to the warm-start spool "
+        "(new plans only; already-spooled keys are skipped)."),
+    CounterSpec(
         "recovery.attempts", "rung",
         "repro/recovery/ladder.py",
         "Recovery-ladder rungs attempted (the baseline GESP solve "

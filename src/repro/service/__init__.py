@@ -20,8 +20,12 @@ Module map:
   together
 - :mod:`~repro.service.client` — blocking client + synthetic load
   generation
+- :mod:`~repro.service.shard` — the sharded multi-process tier
+  (:class:`ShardedSolveService`): pattern-affinity routing over N
+  worker processes, each running its own ``SolveService``
 
-See docs/SERVICE.md for the request lifecycle and semantics.
+See docs/SERVICE.md for the request lifecycle and semantics, and
+docs/SHARDING.md for the multi-process tier.
 """
 
 from repro.service.api import (
@@ -31,6 +35,7 @@ from repro.service.api import (
     ServiceConfig,
     ServiceError,
     ServiceOverloaded,
+    ShardDied,
     SolveRequest,
     SolveResponse,
     default_workers,
@@ -43,6 +48,7 @@ from repro.service.client import (
     synthetic_workload,
 )
 from repro.service.server import SolveService
+from repro.service.shard import ShardedSolveService
 
 __all__ = [
     "DeadlineExceeded",
@@ -52,6 +58,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloaded",
+    "ShardDied",
+    "ShardedSolveService",
     "SolveRequest",
     "SolveResponse",
     "SolveService",

@@ -36,6 +36,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloaded",
+    "ShardDied",
     "SolveRequest",
     "SolveResponse",
     "default_workers",
@@ -67,15 +68,27 @@ class ServiceOverloaded(ServiceError):
 
     The request was *not* enqueued; the caller should back off and
     retry.  ``capacity`` is the queue bound, ``pending`` the depth at
-    rejection time.
+    rejection time; ``shard`` identifies the overloaded shard when the
+    rejection came from the sharded tier (None for the in-process
+    service — other shards may still have headroom).
     """
 
-    def __init__(self, capacity: int, pending: int):
+    def __init__(self, capacity: int, pending: int,
+                 shard: int | None = None):
         self.capacity = int(capacity)
         self.pending = int(pending)
+        self.shard = shard
+        where = "service queue" if shard is None else f"shard {shard} queue"
         super().__init__(
-            f"service queue full ({pending}/{capacity} pending); "
+            f"{where} full ({pending}/{capacity} pending); "
             "request rejected (backpressure)")
+
+    def __reduce__(self):
+        # the default Exception reduce replays __init__ with self.args
+        # (the formatted message), which drops capacity/pending/shard and
+        # raises TypeError on unpickle — responses cross process
+        # boundaries in the sharded tier, so rebuild from the real fields
+        return (self.__class__, (self.capacity, self.pending, self.shard))
 
 
 class DeadlineExceeded(ServiceError):
@@ -93,12 +106,38 @@ class DeadlineExceeded(ServiceError):
             f"deadline of {self.deadline:.3f}s exceeded after waiting "
             f"{self.waited:.3f}s; request evicted unsolved")
 
+    def __reduce__(self):
+        # keep deadline/waited across pickling (see ServiceOverloaded)
+        return (self.__class__, (self.deadline, self.waited))
+
 
 class ServiceClosed(ServiceError):
     """The service is shut down (or shutting down) and admits nothing."""
 
     def __init__(self, detail: str = "service is closed"):
         super().__init__(detail)
+
+
+class ShardDied(ServiceError):
+    """A shard process died with this request in flight.
+
+    The request was admitted and routed but its worker process exited
+    (crash, OOM kill, ...) before answering.  The solve may or may not
+    have run — it was never certified, so the caller should treat it as
+    not executed and retry; the tier respawns the shard in the
+    background.  ``shard`` is the dead shard's id, ``exitcode`` the
+    process exit code when known.
+    """
+
+    def __init__(self, shard: int, exitcode: int | None = None):
+        self.shard = int(shard)
+        self.exitcode = exitcode
+        super().__init__(
+            f"shard {shard} died (exitcode {exitcode}) with this request "
+            "in flight; the shard is being respawned — retry the request")
+
+    def __reduce__(self):
+        return (self.__class__, (self.shard, self.exitcode))
 
 
 @dataclass
@@ -265,6 +304,7 @@ class PendingSolve:
         self._done = threading.Event()
         self._lock = threading.Lock()
         self._response: SolveResponse | None = None
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -277,6 +317,19 @@ class PendingSolve:
                 f"{timeout}s")
         return self._response
 
+    def add_done_callback(self, fn):
+        """Run ``fn(response)`` when this future completes.
+
+        Runs on the completing thread (immediately, when already done).
+        This is the transport seam the sharded tier's worker uses to
+        push responses back across the process boundary without polling.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self._response)
+
     def _complete(self, response: SolveResponse):
         # locked, not a bare is_set() check: two completion paths can
         # race (worker completion vs. the pool's crash hook) and a
@@ -286,3 +339,6 @@ class PendingSolve:
                 return
             self._response = response
             self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(response)

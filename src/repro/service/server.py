@@ -343,8 +343,17 @@ class SolveService:
         *and options*; returns the reuse mode that ran."""
         opts = dataclasses.replace(batch.options, fact="DOFACT")
         if state.solver is None:
-            state.solver = GESPSolver(batch.matrix, opts,
+            # a pattern this *service* has not seen may still have a plan
+            # in the factorization cache (an earlier service, or a
+            # warm-start spool preloaded by the sharded tier): construct
+            # through SAME_PATTERN so the cached analysis is reused —
+            # bit-identical to a cold run by the REFACTORIZATION
+            # contract, and a clean fallback to DOFACT on a cache miss
+            create = opts if self._cache is False else \
+                dataclasses.replace(opts, fact="SAME_PATTERN")
+            state.solver = GESPSolver(batch.matrix, create,
                                       cache=self._cache)
+            state.solver.options = opts   # stable comparisons below
             state.values_sig = batch.values_sig
             return "DOFACT"
         prev = state.solver.options

@@ -1,0 +1,107 @@
+"""Pattern-affinity routing: rendezvous hashing + hot-pattern tracking.
+
+The tier's routing invariant is *affinity*: every request for a given
+``pattern_fingerprint`` lands on the same shard, so that shard's
+:class:`~repro.driver.factcache.FactorizationCache` and per-pattern
+solver state stay warm for exactly its patterns — the PR-3 warm-vs-cold
+economics (~8.3x) applied across processes.  Rendezvous (highest-random
+-weight) hashing gives that affinity *and* minimal disruption: when the
+shard set changes, only the patterns whose top-ranked shard changed move
+(~1/N of them), instead of the wholesale reshuffle a modulo hash causes.
+
+Pure functions over (fingerprint, shard ids) — deterministic across
+processes and interpreter restarts (blake2b, not ``hash()``, which is
+salted per process), so tests and operators can predict placement.
+
+:class:`HotPatternTracker` is the rebalance half: a sliding-window
+request-rate tracker that flags patterns hot enough to be worth
+replicating onto a second shard (trading one duplicate factorization
+for twice the solve bandwidth).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+
+__all__ = ["HotPatternTracker", "rendezvous_rank", "route"]
+
+
+def _weight(fingerprint: str, shard_id: int) -> int:
+    """The HRW weight of one (pattern, shard) pair."""
+    h = hashlib.blake2b(f"{fingerprint}|{shard_id}".encode(),
+                        digest_size=8)
+    return int.from_bytes(h.digest(), "big")
+
+
+def rendezvous_rank(fingerprint: str, shard_ids) -> list[int]:
+    """Shard ids ranked by HRW weight for ``fingerprint``, best first.
+
+    Deterministic in the *set* of ids (order of ``shard_ids`` does not
+    matter); removing a shard never reorders the survivors, which is the
+    minimal-movement property resharding relies on.
+    """
+    ids = list(shard_ids)
+    if not ids:
+        raise ValueError("rendezvous_rank needs at least one shard id")
+    return sorted(ids, key=lambda s: (-_weight(fingerprint, s), s))
+
+
+def route(fingerprint: str, shard_ids) -> int:
+    """The owning shard for ``fingerprint`` (the HRW top rank)."""
+    return rendezvous_rank(fingerprint, shard_ids)[0]
+
+
+class HotPatternTracker:
+    """Sliding-window request rates per pattern, for replication.
+
+    ``note(fingerprint)`` records one arrival and returns True when the
+    pattern just crossed ``hot_rps`` (measured over the trailing
+    ``window`` seconds) *for the first time* — the router replicates it
+    onto its second-ranked HRW shard and the tracker keeps reporting it
+    in :meth:`hot` thereafter.  Thread-safe; O(window·rate) memory per
+    tracked pattern, timestamps older than the window are pruned on
+    every touch.
+    """
+
+    def __init__(self, hot_rps: float | None = None, window: float = 2.0,
+                 clock=time.monotonic):
+        if hot_rps is not None and hot_rps <= 0:
+            raise ValueError("hot_rps must be positive (or None to "
+                             "disable replication)")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.hot_rps = hot_rps
+        self.window = float(window)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrivals: dict[str, deque] = {}
+        self._hot: set[str] = set()
+
+    def note(self, fingerprint: str) -> bool:
+        """Record one arrival; True when the pattern just went hot."""
+        if self.hot_rps is None:
+            return False
+        now = self._clock()
+        with self._lock:
+            q = self._arrivals.setdefault(fingerprint, deque())
+            q.append(now)
+            cutoff = now - self.window
+            while q and q[0] < cutoff:
+                q.popleft()
+            if fingerprint in self._hot:
+                return False
+            if len(q) / self.window >= self.hot_rps:
+                self._hot.add(fingerprint)
+                return True
+            return False
+
+    def hot(self) -> set[str]:
+        """Patterns currently flagged hot (replication is sticky: a
+        pattern stays replicated until the tier restarts — flapping
+        between one and two warm copies would throw the second copy's
+        warmth away exactly when it was paid for)."""
+        with self._lock:
+            return set(self._hot)

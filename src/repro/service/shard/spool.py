@@ -1,0 +1,105 @@
+"""Warm-start spool: PatternPlans persisted across shard restarts.
+
+A shard's value is its warmth — the ``PatternPlan``s (orderings +
+symbolic analysis) its patterns' first cold factorizations paid for.
+A respawned or restarted shard would otherwise re-run ``DOFACT`` for
+every tenant; the spool makes that a disk read instead.
+
+Format (``spool/v1``): one file per plan under the spool directory,
+
+    <blake2b(plan.key)[:24]>.plan.pkl
+
+containing ``pickle({"schema": "spool/v1", "key": plan.key, "plan":
+plan})``.  The filename is a digest of the *plan key* (fingerprint plus
+every plan-shaping option), so distinct option sets for one pattern
+spool side by side, exactly mirroring the cache keying.  Writes are
+atomic (tmp + rename) so a shard killed mid-write leaves either the old
+file or none — never a torn pickle; unreadable or wrong-schema files
+are skipped on load (a stale spool can cost a cold start, never
+corrupt a solve — the plan key check makes a mismatched plan
+unreachable anyway).
+
+All shards share one spool directory: filenames are content-addressed
+by plan key, so two shards spooling the same replicated pattern write
+identical bytes and last-write-wins is harmless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+__all__ = ["load_plans", "save_plans", "spool_path"]
+
+_SCHEMA = "spool/v1"
+
+
+def spool_path(spool_dir, key: tuple) -> Path:
+    """The spool file for one plan key."""
+    digest = hashlib.blake2b(repr(key).encode(),
+                             digest_size=12).hexdigest()
+    return Path(spool_dir) / f"{digest}.plan.pkl"
+
+
+def save_plans(spool_dir, plans, already_spooled: set | None = None) -> int:
+    """Persist ``plans`` (skipping keys in ``already_spooled``).
+
+    Returns how many files were written; updates ``already_spooled`` in
+    place so a worker syncing after every batch pays nothing once its
+    plans are on disk.
+    """
+    spool_dir = Path(spool_dir)
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    seen = already_spooled if already_spooled is not None else set()
+    written = 0
+    for plan in plans:
+        if plan.key in seen:
+            continue
+        target = spool_path(spool_dir, plan.key)
+        fd, tmp = tempfile.mkstemp(dir=spool_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump({"schema": _SCHEMA, "key": plan.key,
+                             "plan": plan}, f,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        seen.add(plan.key)
+        written += 1
+    return written
+
+
+def load_plans(spool_dir, cache) -> int:
+    """Preload every readable spooled plan into ``cache``.
+
+    Returns the number of plans loaded.  Skips (never raises on)
+    unreadable, torn, or wrong-schema files, and files whose recorded
+    key does not match the plan's own — the spool may be shared with
+    newer/older code.
+    """
+    spool_dir = Path(spool_dir)
+    if not spool_dir.is_dir():
+        return 0
+    loaded = 0
+    for path in sorted(spool_dir.glob("*.plan.pkl")):
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            if entry.get("schema") != _SCHEMA:
+                continue
+            plan = entry["plan"]
+            if entry.get("key") != plan.key:
+                continue
+        except Exception:
+            continue
+        cache.store(plan)
+        loaded += 1
+    return loaded

@@ -10,6 +10,7 @@ their shape.
 """
 
 import json
+import multiprocessing as mp
 import pathlib
 import subprocess
 import sys
@@ -19,6 +20,15 @@ import pytest
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 pytestmark = pytest.mark.bench_smoke
+
+try:
+    mp.get_context("spawn")
+    _HAVE_SPAWN = True
+except ValueError:                     # pragma: no cover - exotic platform
+    _HAVE_SPAWN = False
+
+needs_spawn = pytest.mark.skipif(
+    not _HAVE_SPAWN, reason="multiprocessing spawn context unavailable")
 
 
 def test_trajectory_smoke():
@@ -83,6 +93,7 @@ def test_service_burst_smoke():
     assert comp["speedup"] >= SPEEDUP_FLOOR, comp
 
 
+@needs_spawn
 def test_bench_trajectory_service_schema(tmp_path):
     out = tmp_path / "BENCH_service.json"
     proc = subprocess.run(
@@ -101,3 +112,31 @@ def test_bench_trajectory_service_schema(tmp_path):
     assert loop["failed"] == 0
     assert {"throughput_rps", "p50_latency_seconds", "p99_latency_seconds",
             "batches", "mean_width"} <= set(loop)
+    sharded = rec["sharded_open_loop"]
+    assert len(sharded["mix"]) >= 4
+    assert [r["shards"] for r in sharded["shards"]] == [1, 4]
+    assert all(r["completed"] == 20 and r["failed"] == 0
+               for r in sharded["shards"])
+    assert sharded["bit_identical"] is True
+    assert sharded["scaling_floor"] == 1.7
+    assert sharded["floor_enforced"] == (sharded["cpus"] >= 4)
+
+
+@needs_spawn
+def test_sharded_open_loop_smoke():
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from bench_service import SHARD_SCALING_FLOOR, sharded_open_loop
+    finally:
+        sys.path.pop(0)
+    out = sharded_open_loop(requests=8, shard_counts=(1, 2))
+    assert out["bit_identical"] is True   # solutions cross the process
+    assert [r["shards"] for r in out["shards"]] == [1, 2]
+    assert all(r["completed"] == 8 and r["failed"] == 0
+               and r["rejected"] == 0 for r in out["shards"])
+    assert out["scaling"] > 0.0
+    assert out["scaling_floor"] == SHARD_SCALING_FLOOR == 1.7
+    # 1->2 scaling with 8 requests is too noisy to gate tier 2 on; the
+    # full bench (scripts/bench_trajectory.py --bench service) enforces
+    # the floor when floor_enforced says the host can express it
+    assert out["floor_enforced"] == (out["cpus"] >= 2)

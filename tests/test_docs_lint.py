@@ -45,3 +45,38 @@ def test_lint_catches_a_missing_counter():
     names = counter_names()
     text = "\n".join(names[:-1])
     assert check_docs.missing_counters(text) == [names[-1]]
+
+
+def test_packages_include_nested_subpackages():
+    # the walk must see nested packages, not just top-level ones
+    assert "service" in check_docs.repro_packages()
+    assert "service.shard" in check_docs.repro_packages()
+
+
+def test_docs_index_links_every_doc():
+    assert (REPO / "docs" / "README.md").is_file()
+    assert check_docs.missing_from_index() == []
+
+
+def test_lint_catches_an_unindexed_doc():
+    docs = check_docs.docs_files()
+    text = "\n".join(docs[:-1])
+    assert check_docs.missing_from_index(text) == [docs[-1]]
+
+
+def test_every_cli_flag_is_documented():
+    assert check_docs.undocumented_flags() == []
+
+
+def test_cli_flag_walk_sees_subcommand_and_global_flags():
+    flags = check_docs.cli_flags()
+    assert "--trace" in flags          # global
+    assert "--shards" in flags         # serve subcommand
+    assert "--refactor-sweep" in flags  # solve subcommand
+    assert "--help" not in flags
+
+
+def test_lint_catches_an_undocumented_flag():
+    flags = check_docs.cli_flags()
+    text = "\n".join(flags[:-1])
+    assert check_docs.undocumented_flags(text) == [flags[-1]]

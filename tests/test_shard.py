@@ -1,0 +1,329 @@
+"""The sharded serving tier (repro.service.shard).
+
+Process-spawning tests keep the fleet small (2 shards, n≈25 matrices)
+and skip cleanly where the multiprocessing spawn context or shared
+memory is unavailable.  The pure pieces — rendezvous routing, the hot
+tracker, spool persistence, message/error pickling — are tested
+without processes.
+
+The acceptance behaviors from the issue are all here: routing
+determinism, bit-identical solutions vs the single-process service
+(coalescing pinned off — max_batch=1 — since joint block refinement
+makes wide-batch low bits composition-dependent), a killed shard
+failing in-flight requests with structured ShardDied and respawning,
+overload isolated to one shard, and a warm start from the spool.
+"""
+
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import CSCMatrix
+from repro.driver.factcache import FactorizationCache
+from repro.service import (
+    DeadlineExceeded,
+    ServiceConfig,
+    ServiceOverloaded,
+    ShardDied,
+    ShardedSolveService,
+    SolveRequest,
+    SolveService,
+)
+from repro.service.shard import routing, spool
+from repro.service.shard.messages import ShmSlab, SubmitMsg, shm_available
+from repro.sparse.ops import pattern_fingerprint
+
+try:
+    mp.get_context("spawn")
+    _HAVE_SPAWN = True
+except ValueError:                     # pragma: no cover - exotic platform
+    _HAVE_SPAWN = False
+
+needs_spawn = pytest.mark.skipif(
+    not _HAVE_SPAWN, reason="multiprocessing spawn context unavailable")
+
+
+def sparse_matrix(n=25, seed=0, density=0.3):
+    """A well-conditioned sparse test matrix with a seed-specific
+    pattern (different seeds ⇒ different fingerprints)."""
+    r = np.random.default_rng(seed)
+    d = np.diag(r.uniform(2, 3, n)) + 0.1 * r.standard_normal((n, n))
+    mask = r.random((n, n)) < density
+    np.fill_diagonal(mask, True)
+    return CSCMatrix.from_dense(np.where(mask, d, 0.0))
+
+
+def _cfg(**kw):
+    kw.setdefault("max_workers", 1)
+    kw.setdefault("batch_window", 0.0)
+    kw.setdefault("max_batch", 1)
+    return ServiceConfig(**kw)
+
+
+def _matrix_routed_to(target_shard, shards=2, n=25, max_tries=64):
+    """A matrix whose pattern HRW-routes to ``target_shard``."""
+    for seed in range(max_tries):
+        a = sparse_matrix(n=n, seed=100 + seed)
+        if routing.route(pattern_fingerprint(a),
+                         range(shards)) == target_shard:
+            return a
+    raise AssertionError("no matrix routed to the target shard")
+
+
+# --------------------------------------------------------------------- #
+# routing: pure, deterministic, minimal-movement
+# --------------------------------------------------------------------- #
+
+def test_routing_is_deterministic_and_order_independent():
+    fp = pattern_fingerprint(sparse_matrix(seed=3))
+    rank = routing.rendezvous_rank(fp, [0, 1, 2, 3])
+    assert rank == routing.rendezvous_rank(fp, [3, 1, 0, 2])
+    assert sorted(rank) == [0, 1, 2, 3]
+    assert routing.route(fp, [0, 1, 2, 3]) == rank[0]
+    # repeated calls never disagree (no per-process hash salt)
+    assert all(routing.rendezvous_rank(fp, [0, 1, 2, 3]) == rank
+               for _ in range(10))
+
+
+def test_routing_spreads_patterns_across_shards():
+    fps = [pattern_fingerprint(sparse_matrix(seed=s)) for s in range(32)]
+    owners = {routing.route(fp, range(4)) for fp in fps}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_removing_a_shard_only_moves_its_patterns():
+    fps = [pattern_fingerprint(sparse_matrix(seed=s)) for s in range(32)]
+    before = {fp: routing.route(fp, range(4)) for fp in fps}
+    after = {fp: routing.route(fp, [0, 1, 2]) for fp in fps}
+    for fp in fps:
+        if before[fp] != 3:            # survivors keep their patterns
+            assert after[fp] == before[fp]
+        else:                          # shard 3's patterns re-route
+            assert after[fp] in (0, 1, 2)
+
+
+def test_hot_tracker_flags_once_and_stays_sticky():
+    t = [0.0]
+    tracker = routing.HotPatternTracker(hot_rps=4.0, window=1.0,
+                                        clock=lambda: t[0])
+    flagged = []
+    for k in range(8):
+        t[0] = k * 0.1
+        flagged.append(tracker.note("fp"))
+    assert sum(flagged) == 1           # crossed the threshold exactly once
+    assert tracker.hot() == {"fp"}
+    t[0] = 100.0                       # long idle: stays replicated
+    assert tracker.note("fp") is False
+    assert tracker.hot() == {"fp"}
+
+
+def test_hot_tracker_disabled_by_default():
+    tracker = routing.HotPatternTracker(hot_rps=None)
+    assert all(not tracker.note("fp") for _ in range(100))
+    assert tracker.hot() == set()
+
+
+# --------------------------------------------------------------------- #
+# messages: pickling, deadlines in transit, the shm slab
+# --------------------------------------------------------------------- #
+
+def test_structured_errors_survive_pickling():
+    o = pickle.loads(pickle.dumps(ServiceOverloaded(8, 9, shard=3)))
+    assert (o.capacity, o.pending, o.shard) == (8, 9, 3)
+    assert "shard 3" in str(o)
+    d = pickle.loads(pickle.dumps(DeadlineExceeded(0.5, 0.75)))
+    assert (d.deadline, d.waited) == (0.5, 0.75)
+    s = pickle.loads(pickle.dumps(ShardDied(2, exitcode=-9)))
+    assert (s.shard, s.exitcode) == (2, -9)
+
+
+def test_transit_time_is_charged_against_the_deadline():
+    msg = SubmitMsg(router_id="r", request_id="q", matrix="m",
+                    deadline_remaining=0.5,
+                    t_sent_wall=time.time() - 0.2)
+    assert msg.remaining_deadline() == pytest.approx(0.3, abs=0.05)
+    overdue = SubmitMsg(router_id="r", request_id="q", matrix="m",
+                        deadline_remaining=0.1,
+                        t_sent_wall=time.time() - 5.0)
+    assert overdue.remaining_deadline() == 0.0   # clamped, never negative
+    nolimit = SubmitMsg(router_id="r", request_id="q", matrix="m")
+    assert nolimit.remaining_deadline() is None
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared memory here")
+def test_shm_slab_roundtrip():
+    b = np.arange(7, dtype=np.float64)
+    slab, seg = ShmSlab.create(b)
+    try:
+        other = slab.attach()          # same process stands in for a worker
+        np.testing.assert_array_equal(slab.view_b(other), b)
+        slab.view_x(other)[:] = 2.0 * b
+        other.close()
+        np.testing.assert_array_equal(slab.view_x(seg), 2.0 * b)
+        np.testing.assert_array_equal(slab.view_b(seg), b)  # b untouched
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+# --------------------------------------------------------------------- #
+# spool: persistence, tolerance, content addressing
+# --------------------------------------------------------------------- #
+
+def _plans_for(matrices):
+    """Factor each matrix once against a private cache; return it."""
+    from repro.driver import GESPSolver
+
+    cache = FactorizationCache(maxsize=32)
+    for a in matrices:
+        GESPSolver(a, cache=cache).solve(a @ np.ones(a.ncols))
+    return cache
+
+
+def test_spool_roundtrip_and_idempotence(tmp_path):
+    cache = _plans_for([sparse_matrix(seed=s) for s in range(3)])
+    plans = cache.snapshot()
+    seen = set()
+    assert spool.save_plans(tmp_path, plans, seen) == 3
+    assert spool.save_plans(tmp_path, plans, seen) == 0   # already spooled
+    fresh = FactorizationCache(maxsize=32)
+    assert spool.load_plans(tmp_path, fresh) == 3
+    assert {p.key for p in fresh.snapshot()} == {p.key for p in plans}
+
+
+def test_spool_skips_torn_and_foreign_files(tmp_path):
+    cache = _plans_for([sparse_matrix(seed=9)])
+    spool.save_plans(tmp_path, cache.snapshot(), set())
+    (tmp_path / "torn.plan.pkl").write_bytes(b"\x80\x04 this is not")
+    (tmp_path / "foreign.plan.pkl").write_bytes(
+        pickle.dumps({"schema": "spool/v999", "key": (), "plan": None}))
+    fresh = FactorizationCache(maxsize=32)
+    assert spool.load_plans(tmp_path, fresh) == 1
+
+
+def test_spool_path_is_content_addressed(tmp_path):
+    key_a = ("serial", "fp-a", True, "mc64_product")
+    key_b = ("serial", "fp-b", True, "mc64_product")
+    assert spool.spool_path(tmp_path, key_a) == \
+        spool.spool_path(tmp_path, key_a)
+    assert spool.spool_path(tmp_path, key_a) != \
+        spool.spool_path(tmp_path, key_b)
+
+
+# --------------------------------------------------------------------- #
+# the tier end to end (spawned processes)
+# --------------------------------------------------------------------- #
+
+@needs_spawn
+def test_sharded_solutions_are_bit_identical_to_single_process():
+    mats = [sparse_matrix(seed=s) for s in range(4)]
+    rng = np.random.default_rng(11)
+    rhs = [rng.standard_normal(25) for _ in range(12)]
+
+    with SolveService(_cfg(), cache=FactorizationCache()) as svc:
+        pend = [svc.submit(SolveRequest(matrix=mats[i % 4], b=rhs[i]))
+                for i in range(12)]
+        ref = [p.result(60.0) for p in pend]
+    assert all(r.ok for r in ref)
+
+    with ShardedSolveService(shards=2, config=_cfg()) as tier:
+        pend = [tier.submit(SolveRequest(matrix=mats[i % 4], b=rhs[i]))
+                for i in range(12)]
+        res = [p.result(120.0) for p in pend]
+    assert all(r.ok for r in res), [r.error for r in res]
+    for a, b in zip(ref, res):
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.report.berr == b.report.berr
+    stats = tier.stats()
+    assert stats["service.shard.requests"] == 12
+    assert stats["service.shard.completed"] == 12
+    assert stats["service.shard.deaths"] == 0
+    # post-drain merge of the inner services' counters
+    assert stats["service.requests"] == 12
+
+
+@needs_spawn
+def test_registered_matrix_key_routes_and_solves():
+    a = sparse_matrix(seed=5)
+    b = np.ones(25)
+    with ShardedSolveService(shards=2, config=_cfg()) as tier:
+        tier.register_matrix("jac", a)
+        r = tier.submit(SolveRequest(matrix="jac", b=b)).result(60.0)
+        with pytest.raises(Exception, match="not registered"):
+            tier.submit(SolveRequest(matrix="nope", b=b))
+    assert r.ok
+
+
+@needs_spawn
+def test_overload_is_isolated_to_one_shard():
+    a0 = _matrix_routed_to(0)
+    a1 = _matrix_routed_to(1)
+    with ShardedSolveService(shards=2, config=_cfg(),
+                             per_shard_capacity=3) as tier:
+        tier.pause_shard(0, 3.0)       # shard 0 stops consuming
+        time.sleep(0.3)
+        held = [tier.submit(SolveRequest(matrix=a0, b=np.ones(25)))
+                for _ in range(3)]     # fill shard 0's window
+        with pytest.raises(ServiceOverloaded) as exc:
+            tier.submit(SolveRequest(matrix=a0, b=np.ones(25)))
+        assert exc.value.shard == 0
+        # shard 1 keeps admitting and solving
+        other = tier.submit(SolveRequest(matrix=a1, b=np.ones(25)))
+        assert other.result(60.0).ok
+        # once the pause ends the held requests complete normally
+        assert all(p.result(120.0).ok for p in held)
+    assert tier.stats()["service.shard.rejected_overload"] == 1
+
+
+@needs_spawn
+def test_shard_death_fails_inflight_structurally_and_respawns():
+    a0 = _matrix_routed_to(0)
+    with ShardedSolveService(shards=2, config=_cfg()) as tier:
+        tier.pause_shard(0, 30.0)      # the request will sit unanswered
+        time.sleep(0.3)
+        doomed = tier.submit(SolveRequest(matrix=a0, b=np.ones(25)))
+        os.kill(tier.shard_pid(0), signal.SIGKILL)
+        resp = doomed.result(30.0)     # structured failure, not a hang
+        assert isinstance(resp.error, ShardDied)
+        assert resp.error.shard == 0
+        assert resp.error.exitcode == -signal.SIGKILL
+        with pytest.raises(ShardDied):
+            resp.result()
+        # the monitor respawns the shard; the tier keeps serving
+        assert tier.wait_ready(60.0)
+        again = tier.submit(SolveRequest(matrix=a0, b=np.ones(25)))
+        assert again.result(60.0).ok
+    stats = tier.stats()
+    assert stats["service.shard.deaths"] == 1
+    assert stats["service.shard.respawns"] == 1
+
+
+@needs_spawn
+def test_warm_start_from_the_spool_skips_dofact(tmp_path):
+    mats = [sparse_matrix(seed=s) for s in range(3)]
+    cfg = _cfg()
+    with ShardedSolveService(shards=2, config=cfg,
+                             spool_dir=tmp_path) as tier:
+        pend = [tier.submit(SolveRequest(matrix=a, b=np.ones(25)))
+                for a in mats]
+        assert all(p.result(60.0).ok for p in pend)
+    saved = tier.stats()["service.shard.spool_saved"]
+    assert saved == 3                  # one plan per pattern
+    assert len(list(tmp_path.glob("*.plan.pkl"))) == 3
+
+    with ShardedSolveService(shards=2, config=cfg,
+                             spool_dir=tmp_path) as warm:
+        assert warm.stats()["service.shard.spool_loaded"] == 6  # 3 × 2 shards
+        pend = [warm.submit(SolveRequest(matrix=a, b=np.ones(25)))
+                for a in mats]
+        assert all(p.result(60.0).ok for p in pend)
+    per_shard = warm.shard_stats()
+    # every solve hit a preloaded plan: warm cache hits, zero misses
+    assert sum(s.cache_hits for s in per_shard.values()) == 3
+    assert sum(s.cache_misses for s in per_shard.values()) == 0
+    assert warm.stats()["service.shard.spool_saved"] == 0   # nothing new

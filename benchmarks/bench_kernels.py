@@ -11,8 +11,10 @@ kernel time on the real workload shapes — no sparse bookkeeping in
 either number.
 
 Acceptance floor: the ``vectorized`` backend must beat ``reference`` by
->= 1.5x on the largest cfd matrix.  ``scripts/bench_trajectory.py
---bench kernels`` replays the same workload standalone and writes the
+>= 1.5x on the largest cfd matrix, and the ``compiled`` backend (when
+numba is installed — its rows skip gracefully otherwise) by >= 3x after
+an untimed JIT-warmup replay.  ``scripts/bench_trajectory.py --bench
+kernels`` replays the same workload standalone and writes the
 schema-versioned ``BENCH_kernels.json``.
 """
 
@@ -22,11 +24,12 @@ import numpy as np
 
 from repro.analysis import Table
 from repro.factor.supernodal import supernodal_factor
-from repro.kernels import get_backend
+from repro.kernels import available_backends, get_backend
 from repro.kernels.reference import ReferenceBackend
 from repro.matrices import matrix_by_name
 
 SPEEDUP_FLOOR = 1.5
+COMPILED_SPEEDUP_FLOOR = 3.0
 
 
 class _Recorder(ReferenceBackend):
@@ -119,26 +122,40 @@ def kernel_comparison(names=("cfd03", "cfd06"), rounds=5):
     """Replay timings for both backends over the cfd workloads.
 
     The backends are *interleaved* round by round (reference then
-    vectorized, ``rounds`` times) so transient machine load lands on
-    both sides alike; best-of-rounds is taken per backend.  Returns rows
-    of ``{matrix, n, ops, reference_seconds, vectorized_seconds,
-    speedup}`` — shared by this benchmark and
+    vectorized then compiled, ``rounds`` times) so transient machine
+    load lands on all sides alike; best-of-rounds is taken per backend.
+    Returns rows of ``{matrix, n, ops, reference_seconds,
+    vectorized_seconds, speedup}`` — plus ``compiled_seconds`` and
+    ``compiled_speedup`` when the compiled backend is registered (the
+    ``[compiled]`` extra; its first replay per workload is an untimed
+    JIT warmup) — shared by this benchmark and
     scripts/bench_trajectory.py.
     """
     ref = get_backend("reference")
     vec = get_backend("vectorized")
+    comp = (get_backend("compiled")
+            if "compiled" in available_backends() else None)
     rows = []
     for name in names:
         a, ops = kernel_workload(name)
+        if comp is not None:
+            _replay_once(comp, _fresh_ops(ops))   # untimed: JIT compile
         t_ref = float("inf")
         t_vec = float("inf")
+        t_comp = float("inf")
         for _ in range(rounds):
             t_ref = min(t_ref, _replay_once(ref, _fresh_ops(ops)))
             t_vec = min(t_vec, _replay_once(vec, _fresh_ops(ops)))
-        rows.append({"matrix": name, "n": a.ncols, "ops": len(ops),
-                     "reference_seconds": t_ref,
-                     "vectorized_seconds": t_vec,
-                     "speedup": t_ref / t_vec})
+            if comp is not None:
+                t_comp = min(t_comp, _replay_once(comp, _fresh_ops(ops)))
+        row = {"matrix": name, "n": a.ncols, "ops": len(ops),
+               "reference_seconds": t_ref,
+               "vectorized_seconds": t_vec,
+               "speedup": t_ref / t_vec}
+        if comp is not None:
+            row["compiled_seconds"] = t_comp
+            row["compiled_speedup"] = t_ref / t_comp
+        rows.append(row)
     return rows
 
 
@@ -148,18 +165,29 @@ def bench_kernels(benchmark):
     from conftest import save_table
 
     rows = kernel_comparison()
+    have_compiled = "compiled_seconds" in rows[0]
+    cols = ["matrix", "n", "ops", "reference(s)", "vectorized(s)",
+            "speedup"]
+    if have_compiled:
+        cols += ["compiled(s)", "compiled speedup"]
     t = Table("Dense-kernel backends — replayed cfd factorization traces",
-              ["matrix", "n", "ops", "reference(s)", "vectorized(s)",
-               "speedup"])
+              cols)
     for r in rows:
-        t.add(r["matrix"], r["n"], r["ops"],
-              f"{r['reference_seconds']:.3f}",
-              f"{r['vectorized_seconds']:.3f}", f"{r['speedup']:.2f}x")
+        cells = [r["matrix"], r["n"], r["ops"],
+                 f"{r['reference_seconds']:.3f}",
+                 f"{r['vectorized_seconds']:.3f}", f"{r['speedup']:.2f}x"]
+        if have_compiled:
+            cells += [f"{r['compiled_seconds']:.3f}",
+                      f"{r['compiled_speedup']:.2f}x"]
+        t.add(*cells)
     save_table("kernel_backends", t)
 
-    # the floor holds on the largest cfd workload
+    # the floors hold on the largest cfd workload (compiled only when
+    # the [compiled] extra is installed — no numba, no row, no floor)
     big = rows[-1]
     assert big["speedup"] >= SPEEDUP_FLOOR, big
+    if have_compiled:
+        assert big["compiled_speedup"] >= COMPILED_SPEEDUP_FLOOR, big
 
     # and both backends factor to the same answer (kernel swap is not an
     # accuracy trade)

@@ -123,26 +123,50 @@ def run_refactor(args):
 
 
 def run_kernels(args):
-    from bench_kernels import SPEEDUP_FLOOR, kernel_comparison
+    from bench_kernels import (
+        COMPILED_SPEEDUP_FLOOR,
+        SPEEDUP_FLOOR,
+        kernel_comparison,
+    )
+    from repro.kernels import available_backends
 
+    backends = list(available_backends())
     rows = kernel_comparison(rounds=args.rounds)
     speedup = rows[-1]["speedup"]
+    have_compiled = "compiled" in backends
     record = {
         "schema": "bench_kernels/v1",
         "rounds": args.rounds,
+        # which backends were registered for this run — a record without
+        # compiled rows is distinguishable from a compiled regression
+        "backends": backends,
         "rows": rows,
         "speedup": speedup,
         "speedup_floor": SPEEDUP_FLOOR,
+        "compiled_speedup_floor": COMPILED_SPEEDUP_FLOOR,
     }
+    if have_compiled:
+        record["compiled_speedup"] = rows[-1]["compiled_speedup"]
     out = pathlib.Path(args.out or (ROOT / "BENCH_kernels.json"))
     out.write_text(json.dumps(record, indent=2) + "\n")
     for r in rows:
-        print(f"{r['matrix']}: reference {r['reference_seconds']:.3f}s, "
-              f"vectorized {r['vectorized_seconds']:.3f}s "
-              f"-> {r['speedup']:.2f}x")
+        line = (f"{r['matrix']}: reference {r['reference_seconds']:.3f}s, "
+                f"vectorized {r['vectorized_seconds']:.3f}s "
+                f"-> {r['speedup']:.2f}x")
+        if "compiled_seconds" in r:
+            line += (f", compiled {r['compiled_seconds']:.3f}s "
+                     f"-> {r['compiled_speedup']:.2f}x")
+        print(line)
+    if not have_compiled:
+        print("compiled backend not registered (numba missing): "
+              "rows skipped")
     print(f"written: {out}")
     if speedup < SPEEDUP_FLOOR:
         print("FAIL: vectorized backend below the speedup floor",
+              file=sys.stderr)
+        return 1
+    if have_compiled and record["compiled_speedup"] < COMPILED_SPEEDUP_FLOOR:
+        print("FAIL: compiled backend below its speedup floor",
               file=sys.stderr)
         return 1
     return 0

@@ -67,6 +67,7 @@ def cmd_solve(args):
         extra_precision_residual=args.extra_precision,
         fact=args.fact,
         kernel_backend=args.kernel_backend,
+        factor_dtype=args.factor_dtype,
     )
     if args.refactor_sweep:
         return _refactor_sweep(a, b, opts, args)
@@ -316,10 +317,15 @@ def cmd_serve(args):
             matrices[name] = matrix_by_name(name).build()
         except KeyError:
             matrices[name] = _load(name)
+    from repro.driver import GESPOptions
+
     cfg = ServiceConfig(max_workers=args.workers,
                         queue_capacity=args.queue_capacity,
                         batch_window=args.batch_window,
-                        max_batch=args.max_batch)
+                        max_batch=args.max_batch,
+                        options=GESPOptions(
+                            kernel_backend=args.kernel_backend,
+                            factor_dtype=args.factor_dtype))
     print(f"service          : {cfg.workers} workers, queue "
           f"{cfg.queue_capacity}, batch window {cfg.batch_window * 1e3:.1f}ms,"
           f" max batch {cfg.max_batch}")
@@ -438,8 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "analysis (see docs/REFACTORIZATION.md)")
     p.add_argument("--kernel-backend", default=None, metavar="NAME",
                    help="dense-kernel backend ('reference', 'vectorized', "
-                        "...); default: $REPRO_KERNEL_BACKEND, then "
-                        "'reference' (see docs/KERNELS.md)")
+                        "'compiled', ...); default: $REPRO_KERNEL_BACKEND, "
+                        "then 'reference' (see docs/KERNELS.md)")
+    p.add_argument("--factor-dtype", default="float64",
+                   choices=["float64", "float32"],
+                   help="numeric factorization precision; 'float32' "
+                        "factors in single precision and refines in "
+                        "double against the original matrix (see "
+                        "docs/ROBUSTNESS.md)")
     p.add_argument("--refactor-sweep", type=int, default=0, metavar="K",
                    help="factor cold once, then refactor K times with "
                         "same-pattern perturbed values through the "
@@ -514,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replicate a pattern onto a second shard once "
                         "it sustains this request rate (default: no "
                         "replication)")
+    p.add_argument("--kernel-backend", default=None, metavar="NAME",
+                   help="dense-kernel backend for the service's default "
+                        "solve options (see docs/KERNELS.md)")
+    p.add_argument("--factor-dtype", default="float64",
+                   choices=["float64", "float32"],
+                   help="numeric factorization precision for the "
+                        "service's default solve options; 'float32' "
+                        "factors in single precision and lets berr "
+                        "certification / the recovery ladder decide "
+                        "(see docs/ROBUSTNESS.md)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("testbed", help="list built-in testbed matrices")

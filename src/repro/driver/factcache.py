@@ -202,6 +202,7 @@ def serial_plan_key(fingerprint: str, opts) -> tuple:
 
     return ("serial", fingerprint, opts.equilibrate, opts.row_perm,
             opts.scale_diagonal, opts.col_perm, opts.symbolic_method,
+            opts.factor_dtype,
             resolve_backend_name(opts.kernel_backend))
 
 
@@ -216,4 +217,5 @@ def dist_plan_key(fingerprint: str, opts, grid, max_block_size: int,
             opts.scale_diagonal, opts.col_perm,
             grid.nprow, grid.npcol, int(max_block_size), int(relax_size),
             float(dense_tail_threshold), bool(edag_prune),
+            opts.factor_dtype,
             resolve_backend_name(opts.kernel_backend))

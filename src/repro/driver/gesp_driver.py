@@ -367,7 +367,7 @@ class GESPSolver:
             self._sym_blockpivot = None
 
         with self._stage("factor"):
-            self._numeric_factor(at, sym)
+            self._numeric_factor(self._numeric_input(at), sym)
 
         self.perm_r = perm_r
         self.perm_c = perm_c
@@ -375,6 +375,22 @@ class GESPSolver:
         self.dc = dc
         self.symbolic = sym
         self.a_factored = at
+
+    def _numeric_input(self, at):
+        """The matrix step (3) actually factors: ``at`` itself in double
+        precision, or a float32-valued view of the same pattern in
+        mixed-precision mode (``options.factor_dtype="float32"``).  The
+        cast lives here — the single convergence point of every fact
+        mode — so DOFACT, both SAME_PATTERN paths, and ``refactor`` all
+        produce fp32 factors while ``a_factored`` (and refinement
+        against the original ``a``) stay double.  Complex values have no
+        narrow path and factor at full precision."""
+        if self.options.factor_dtype == "float32" \
+                and not np.issubdtype(at.nzval.dtype, np.complexfloating):
+            annotate(factor_dtype="float32")
+            return CSCMatrix(at.nrows, at.ncols, at.colptr, at.rowind,
+                             at.nzval.astype(np.float32), check=False)
+        return at
 
     def refactor(self, a_new: CSCMatrix, fact: str | None = None):
         """Refactor for new values on the same sparsity pattern.

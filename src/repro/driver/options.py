@@ -80,9 +80,21 @@ class GESPOptions:
           (swap in new values and let refinement absorb the drift).
     kernel_backend:
         Dense-kernel backend name from :mod:`repro.kernels`
-        (``"reference"``, ``"vectorized"``, or any registered name);
-        ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
-        variable and finally the bit-exact ``"reference"`` default.
+        (``"reference"``, ``"vectorized"``, ``"compiled"``, or any
+        registered name); ``None`` defers to the
+        ``REPRO_KERNEL_BACKEND`` environment variable and finally the
+        bit-exact ``"reference"`` default.
+    factor_dtype:
+        Precision of the numeric factorization: ``"float64"`` (default)
+        or ``"float32"``.  With ``"float32"`` the factors are computed
+        in single precision while residuals and refinement corrections
+        stay in double against the original values — the paper's
+        lose-half-the-digits-then-refine trade pushed one level further.
+        The berr certification decides whether the cheap factors
+        suffice; the recovery ladder's ``refactor_fp64`` rung escalates
+        back to double when they do not (docs/ROBUSTNESS.md).  Only the
+        serial supernodal/GESP path honors it; complex matrices ignore
+        it (there is no complex64 path).
     """
 
     equilibrate: bool = True
@@ -101,8 +113,12 @@ class GESPOptions:
     diag_block_pivoting: float = 0.0
     fact: str = "DOFACT"
     kernel_backend: str | None = None
+    factor_dtype: str = "float64"
 
     def validate(self):
+        if self.factor_dtype not in ("float64", "float32"):
+            raise ValueError(f"unknown factor_dtype {self.factor_dtype!r} "
+                             "(expected 'float64' or 'float32')")
         if self.kernel_backend is not None:
             # raises the structured UnknownBackendError (a ValueError)
             # listing the registered names

@@ -87,7 +87,11 @@ class BlockPivotedFactors:
 
     def apply_row_perm(self, b):
         """Return ``P b`` (per-block local permutations applied)."""
-        out = np.array(b, dtype=np.float64, copy=True)
+        # the wider of the factor and RHS dtypes, float64 floor — fp32
+        # factors still solve an fp64 RHS in fp64
+        factor_dtype = self.diag[0].dtype if self.diag else np.float64
+        out = np.array(b, dtype=np.result_type(factor_dtype, np.asarray(b),
+                                               np.float64), copy=True)
         xsup = self.part.xsup
         for k in range(self.part.nsuper):
             lo, hi = int(xsup[k]), int(xsup[k + 1])
@@ -191,10 +195,14 @@ def supernodal_factor_block_pivoting(a: CSCMatrix,
                                  for b in blocks])
         s_rows.append(closed.astype(np.int64))
 
-    diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2) for k in range(ns)]
-    below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])))
+    dtype = a.nzval.dtype
+    diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2, dtype=dtype)
+            for k in range(ns)]
+    below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])),
+                      dtype=dtype)
              for k in range(ns)]
-    right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size))
+    right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size),
+                      dtype=dtype)
              for k in range(ns)]
     piv = [None] * ns
 

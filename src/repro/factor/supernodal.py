@@ -183,6 +183,11 @@ class SupernodalFactors:
     def n(self):
         return self.part.n
 
+    @property
+    def dtype(self):
+        """The factor values' dtype (float64 when there are no blocks)."""
+        return self.diag[0].dtype if self.diag else np.dtype(np.float64)
+
     def to_csc_factors(self):
         """Expand to plain CSC (L unit-lower incl. diagonal, U upper) for
         interoperability with the serial solvers — explicit zeros of the
@@ -214,10 +219,16 @@ class SupernodalFactors:
                         lr.append(int(i)); lc.append(lo + jj); lv.append(b[t, jj])
                     if r[jj, t] != 0.0:
                         ur.append(lo + jj); uc.append(int(i)); uv.append(r[jj, t])
+        # explicit dtype: the value lists mix python floats (unit
+        # diagonal) with array scalars, and np.array would promote a
+        # float32/complex factor to float64 otherwise
+        dtype = self.dtype
         l = CSCMatrix.from_coo(COOMatrix(n, n, np.array(lr), np.array(lc),
-                                         np.array(lv)), sum_duplicates=False)
+                                         np.array(lv, dtype=dtype)),
+                               sum_duplicates=False)
         u = CSCMatrix.from_coo(COOMatrix(n, n, np.array(ur), np.array(uc),
-                                         np.array(uv)), sum_duplicates=False)
+                                         np.array(uv, dtype=dtype)),
+                               sum_duplicates=False)
         return l, u
 
     def solve(self, b, kernel=None):
@@ -228,7 +239,10 @@ class SupernodalFactors:
         """
         backend = resolve_backend(
             kernel if kernel is not None else self.kernel_backend)
-        x = np.array(b, dtype=np.float64, copy=True)
+        # solve in the wider of the factor and RHS dtypes (float64 floor:
+        # fp32 factors against an fp64 RHS still substitute in fp64)
+        x = np.array(b, dtype=np.result_type(self.dtype, np.asarray(b),
+                                             np.float64), copy=True)
         ns = self.part.nsuper
         xsup = self.part.xsup
         # forward: L y = b
@@ -296,10 +310,14 @@ def _supernodal_factor(a, sym, part, max_block_size, replace_tiny_pivots,
     supno = part.supno()
     s_rows = supernode_row_sets(sym, part)
 
-    diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2) for k in range(ns)]
-    below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])))
+    dtype = a.nzval.dtype
+    diag = [np.zeros((int(xsup[k + 1] - xsup[k]),) * 2, dtype=dtype)
+            for k in range(ns)]
+    below = [np.zeros((s_rows[k].size, int(xsup[k + 1] - xsup[k])),
+                      dtype=dtype)
              for k in range(ns)]
-    right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size))
+    right = [np.zeros((int(xsup[k + 1] - xsup[k]), s_rows[k].size),
+                      dtype=dtype)
              for k in range(ns)]
 
     scatter_a_to_blocks(a, supno, xsup, s_rows, diag, below, right)

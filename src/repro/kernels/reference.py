@@ -24,6 +24,18 @@ from repro.kernels.base import (
 __all__ = ["ReferenceBackend"]
 
 
+def _perturbed_pivot(p, thresh, dtype):
+    """``±thresh`` keeping the pivot's sign (phase, when complex).
+
+    The real branch is the historical expression unchanged; the complex
+    branch mirrors ``factor/gesp.py``'s phase-preserving replacement
+    (``p >= 0.0`` raises TypeError on complex inputs).
+    """
+    if np.issubdtype(dtype, np.complexfloating):
+        return p / abs(p) * thresh if p != 0.0 else dtype.type(thresh)
+    return thresh if p >= 0.0 else -thresh
+
+
 class ReferenceBackend(KernelBackend):
     """Pure-Python/NumPy loops — the numerical ground truth."""
 
@@ -38,7 +50,7 @@ class ReferenceBackend(KernelBackend):
             p = d[k, k]
             if thresh > 0.0:
                 if abs(p) < thresh:
-                    p = thresh if p >= 0.0 else -thresh
+                    p = _perturbed_pivot(p, thresh, d.dtype)
                     d[k, k] = p
                     replaced.append(k)
             elif p == 0.0:
@@ -67,7 +79,7 @@ class ReferenceBackend(KernelBackend):
             pval = d[k, k]
             if thresh > 0.0:
                 if abs(pval) < thresh:
-                    pval = thresh if pval >= 0.0 else -thresh
+                    pval = _perturbed_pivot(pval, thresh, d.dtype)
                     d[k, k] = pval
                     replaced.append(k)
             elif pval == 0.0:
@@ -122,7 +134,9 @@ class ReferenceBackend(KernelBackend):
 
     def col_scale(self, vals, pivot):
         self.stats.axpy_flops += len(vals)
-        return vals / pivot
+        # cast the pivot down first so a wider scalar (e.g. a float64
+        # pivot against a float32 column) cannot upcast the result
+        return vals / vals.dtype.type(pivot)
 
     # ---- triangular-solve kernels ------------------------------------ #
 

@@ -76,7 +76,10 @@ def resolve_backend(selector=None) -> KernelBackend:
     if isinstance(selector, KernelBackend):
         return selector
     if selector is None:
-        selector = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+        # an unset, empty, or whitespace-only variable means "default" —
+        # mirrors the REPRO_SERVICE_WORKERS parsing in service/api.py
+        env = os.environ.get(ENV_VAR, "").strip()
+        selector = env if env else DEFAULT_BACKEND
     return get_backend(selector)
 
 
@@ -91,3 +94,11 @@ def resolve_backend_name(selector=None) -> str:
 # unconditional
 register_backend(ReferenceBackend())
 register_backend(VectorizedBackend())
+
+# the compiled backend only exists when numba is importable (the
+# ``[compiled]`` extra); selecting "compiled" without it raises
+# UnknownBackendError listing only the backends that actually work
+from repro.kernels.compiled import HAVE_NUMBA, CompiledBackend  # noqa: E402
+
+if HAVE_NUMBA:
+    register_backend(CompiledBackend())

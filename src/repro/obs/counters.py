@@ -238,6 +238,14 @@ COUNTERS = (
         "PatternPlans shard workers persisted to the warm-start spool "
         "(new plans only; already-spooled keys are skipped)."),
     CounterSpec(
+        "spool.load_skipped", "file",
+        "repro/service/shard/spool.py",
+        "Spooled plan files skipped by load_plans (unreadable/torn "
+        "pickle, wrong schema, or key mismatch); each load also issues "
+        "one SpoolSkipWarning naming the files, so a wiped or "
+        "incompatible warm-start spool is diagnosable instead of just "
+        "slow."),
+    CounterSpec(
         "recovery.attempts", "rung",
         "repro/recovery/ladder.py",
         "Recovery-ladder rungs attempted (the baseline GESP solve "

@@ -15,13 +15,18 @@ certified or the options are exhausted:
 3. ``smw`` — Sherman-Morrison-Woodbury correction of the recorded
    tiny-pivot perturbations, making the direct solve *exact* for the
    factored matrix, then refine again;
-4. ``refactor`` — refactor with the aggressive column-max replacement
+4. ``refactor_fp64`` — only when the failed solve factored in single
+   precision (``options.factor_dtype="float32"``): refactor in full
+   double precision with the same pivot policy.  The mixed-precision
+   bargain is "fp32 factors are usually good enough once fp64
+   refinement runs"; this rung is the escalation when they are not;
+5. ``refactor`` — refactor with the aggressive column-max replacement
    policy (bigger, better-conditioned perturbations, recovered exactly
    through Woodbury) and extended-precision refinement;
-5. ``gepp`` — Gilbert-Peierls partial pivoting on the original matrix:
+6. ``gepp`` — Gilbert-Peierls partial pivoting on the original matrix:
    slower, unscalable, but the reference for "a direct method can solve
    this";
-6. ``gmres_ilu`` — ILU(0)-preconditioned GMRES, the iterative
+7. ``gmres_ilu`` — ILU(0)-preconditioned GMRES, the iterative
    alternative of the paper's introduction, as the last resort.
 
 Every rung attempt is recorded in a :class:`RungAttempt` (what ran, what
@@ -59,7 +64,8 @@ __all__ = ["RungAttempt", "RecoveryReport", "recover_solve", "RUNGS"]
 _EPS = float(np.finfo(np.float64).eps)
 DEFAULT_TARGET = float(np.sqrt(_EPS))
 
-RUNGS = ("gesp", "extra_precision", "smw", "refactor", "gepp", "gmres_ilu")
+RUNGS = ("gesp", "extra_precision", "smw", "refactor_fp64", "refactor",
+         "gepp", "gmres_ilu")
 
 
 @dataclass
@@ -250,7 +256,34 @@ def recover_solve(a: CSCMatrix, b, options: GESPOptions | None = None,
                         trigger = FailureKind.NUMERICAL_SINGULARITY
                         record(att)
 
-            # ---- rung 4: refactor with the aggressive policy ---------- #
+            # ---- rung 4: redo a single-precision factorization in
+            # double (mixed-precision escapes only) ---------------------- #
+            if opts.factor_dtype == "float32":
+                with trace("recovery/refactor_fp64"):
+                    att = RungAttempt(
+                        rung="refactor_fp64", triggered_by=trigger,
+                        detail="fp32 factors not certifiable: refactor in "
+                               "float64 with the same pivot policy")
+                    try:
+                        # extra_precision_residual: rung 2 already
+                        # escalated the residual precision — the full-
+                        # precision rebuild keeps that, like rung 5 does
+                        fopts = dataclasses.replace(
+                            opts, factor_dtype="float64", fact="DOFACT",
+                            extra_precision_residual=True)
+                        fsolver = GESPSolver(a, fopts)
+                        att.diagnoses.extend(_factor_health(fsolver, n))
+                        res = fsolver.solve(b)
+                        if record(att, _as_refinement(res)):
+                            return finish()
+                    except (ZeroDivisionError, FloatingPointError,
+                            np.linalg.LinAlgError) as exc:
+                        att.diagnoses.append(FailureDiagnosis(
+                            FailureKind.NUMERICAL_SINGULARITY, str(exc)))
+                        trigger = FailureKind.NUMERICAL_SINGULARITY
+                        record(att)
+
+            # ---- rung 5: refactor with the aggressive policy ---------- #
             with trace("recovery/refactor"):
                 att = RungAttempt(
                     rung="refactor", triggered_by=trigger,
@@ -260,11 +293,15 @@ def recover_solve(a: CSCMatrix, b, options: GESPOptions | None = None,
                     # fact="DOFACT": the recovery rebuild must be a real
                     # cold factorization, never a reuse-plan shortcut of
                     # the analysis that just failed
+                    # factor_dtype="float64": once the fp32 rung failed
+                    # (or was skipped), every later rebuild runs at full
+                    # precision
                     ropts = dataclasses.replace(
                         opts, replace_tiny_pivots=True,
                         aggressive_pivot_replacement=True,
                         diag_block_pivoting=0.0,
                         extra_precision_residual=True,
+                        factor_dtype="float64",
                         fact="DOFACT")
                     rsolver = GESPSolver(a, ropts)
                     att.diagnoses.extend(_factor_health(rsolver, n))
@@ -278,7 +315,7 @@ def recover_solve(a: CSCMatrix, b, options: GESPOptions | None = None,
                     trigger = FailureKind.NUMERICAL_SINGULARITY
                     record(att)
 
-            # ---- rung 5: partial pivoting (GEPP) ---------------------- #
+            # ---- rung 6: partial pivoting (GEPP) ---------------------- #
             with trace("recovery/gepp"):
                 att = RungAttempt(rung="gepp", triggered_by=trigger,
                                   detail="Gilbert-Peierls partial pivoting")
@@ -301,7 +338,7 @@ def recover_solve(a: CSCMatrix, b, options: GESPOptions | None = None,
                     trigger = FailureKind.NUMERICAL_SINGULARITY
                     record(att)
 
-            # ---- rung 6: preconditioned GMRES ------------------------- #
+            # ---- rung 7: preconditioned GMRES ------------------------- #
             with trace("recovery/gmres_ilu"):
                 att = RungAttempt(rung="gmres_ilu", triggered_by=trigger,
                                   detail="ILU(0)-preconditioned GMRES")

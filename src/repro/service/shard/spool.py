@@ -30,11 +30,22 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 
-__all__ = ["load_plans", "save_plans", "spool_path"]
+from repro.obs import add
+
+__all__ = ["SpoolSkipWarning", "load_plans", "save_plans", "spool_path"]
 
 _SCHEMA = "spool/v1"
+
+
+class SpoolSkipWarning(UserWarning):
+    """A spooled plan file was skipped on load (torn, wrong schema, or
+    key mismatch).  One warning summarizes each ``load_plans`` call; the
+    per-call skip count is also published as ``spool.load_skipped`` so a
+    wiped or incompatible warm-start spool is diagnosable instead of
+    just slow."""
 
 
 def spool_path(spool_dir, key: tuple) -> Path:
@@ -89,17 +100,33 @@ def load_plans(spool_dir, cache) -> int:
     if not spool_dir.is_dir():
         return 0
     loaded = 0
+    skipped = []                       # (filename, reason)
     for path in sorted(spool_dir.glob("*.plan.pkl")):
         try:
             with open(path, "rb") as f:
                 entry = pickle.load(f)
             if entry.get("schema") != _SCHEMA:
+                skipped.append((path.name,
+                                f"schema {entry.get('schema')!r} != "
+                                f"{_SCHEMA!r}"))
                 continue
             plan = entry["plan"]
             if entry.get("key") != plan.key:
+                skipped.append((path.name, "recorded key does not match "
+                                "the plan's own"))
                 continue
-        except Exception:
+        except Exception as exc:       # noqa: BLE001 — never fail a start
+            skipped.append((path.name, f"unreadable: {exc!r}"))
             continue
         cache.store(plan)
         loaded += 1
+    if skipped:
+        add("spool.load_skipped", len(skipped))
+        detail = "; ".join(f"{name} ({why})" for name, why in skipped[:5])
+        if len(skipped) > 5:
+            detail += f"; ... {len(skipped) - 5} more"
+        warnings.warn(
+            f"warm-start spool {spool_dir}: skipped {len(skipped)} of "
+            f"{len(skipped) + loaded} plan file(s): {detail}",
+            SpoolSkipWarning, stacklevel=2)
     return loaded

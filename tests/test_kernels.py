@@ -463,3 +463,192 @@ def test_backend_threads_through_plan_cache_key():
 def test_available_backends_contains_builtins():
     names = available_backends()
     assert "reference" in names and "vectorized" in names
+
+
+def test_env_blank_or_whitespace_falls_back_to_default(monkeypatch):
+    """An empty or whitespace-only REPRO_KERNEL_BACKEND means "default",
+    never a literal backend name (mirrors REPRO_SERVICE_WORKERS)."""
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "")
+    assert resolve_backend_name(None) == "reference"
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "   ")
+    assert resolve_backend_name(None) == "reference"
+    # surrounding whitespace around a real name is stripped, not fatal
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "  vectorized  ")
+    assert resolve_backend_name(None) == "vectorized"
+
+
+def test_compiled_backend_registration_matches_numba_availability():
+    from repro.kernels.compiled import HAVE_NUMBA, CompiledBackend
+
+    if HAVE_NUMBA:
+        assert "compiled" in available_backends()
+        assert get_backend("compiled").name == "compiled"
+    else:
+        assert "compiled" not in available_backends()
+        with pytest.raises(RuntimeError, match="numba"):
+            CompiledBackend()
+        # selecting it by name reports the structured unknown-name error
+        with pytest.raises(UnknownBackendError):
+            get_backend("compiled")
+
+
+def test_factor_dtype_threads_through_plan_cache_key():
+    from repro.driver import GESPOptions
+    from repro.driver.factcache import serial_plan_key
+
+    k64 = serial_plan_key("fp", GESPOptions())
+    k32 = serial_plan_key("fp", GESPOptions(factor_dtype="float32"))
+    assert k64 != k32
+    assert k64[-1] == "reference" == k32[-1]   # backend name stays last
+    assert k64[-2] == "float64" and k32[-2] == "float32"
+
+
+def test_options_validate_rejects_unknown_factor_dtype():
+    from repro.driver import GESPOptions
+
+    with pytest.raises(ValueError, match="factor_dtype"):
+        GESPOptions(factor_dtype="float16").validate()
+    GESPOptions(factor_dtype="float32").validate()
+
+
+# --------------------------------------------------------------------- #
+# 5. dtype preservation: every op, every registered backend
+# --------------------------------------------------------------------- #
+
+DTYPES = [np.float32, np.float64, np.complex128]
+
+
+def _typed(rng, shape, dtype):
+    a = rng.standard_normal(shape)
+    if np.issubdtype(dtype, np.complexfloating):
+        a = a + 1j * rng.standard_normal(shape)
+    return np.ascontiguousarray(a.astype(dtype))
+
+
+def _typed_block(rng, w, dtype):
+    d = _typed(rng, (w, w), dtype)
+    d[np.arange(w), np.arange(w)] += w     # diagonally dominant
+    return d
+
+
+def _csc_from_dense(dense):
+    """CSC triple of a triangular dense matrix, rows ascending within
+    each column (diagonal first for L, last for U)."""
+    n = dense.shape[0]
+    colptr, rowind, nzval = [0], [], []
+    for j in range(n):
+        for i in np.nonzero(dense[:, j])[0]:
+            rowind.append(int(i))
+            nzval.append(dense[i, j])
+        colptr.append(len(rowind))
+    return (np.asarray(colptr, dtype=np.int64),
+            np.asarray(rowind, dtype=np.int64),
+            np.asarray(nzval, dtype=dense.dtype))
+
+
+@pytest.mark.parametrize("backend_name", sorted(available_backends()))
+@pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+def test_every_op_preserves_dtype_and_matches_reference(backend_name, dtype):
+    """All 12 kernel ops keep their input dtype on every registered
+    backend (the fp32-factor path depends on never silently upcasting)
+    and agree with the reference backend to a few hundred ulps of the
+    *working* dtype."""
+    rng = np.random.default_rng(20260808)
+    be, ref = get_backend(backend_name), ReferenceBackend()
+    w, m = 8, 5
+    tol = 500 * float(np.finfo(np.dtype(dtype)).eps)
+
+    def check(out, ref_out):
+        out, ref_out = np.asarray(out), np.asarray(ref_out)
+        assert out.dtype == np.dtype(dtype)
+        ref_c = ref_out.astype(np.complex128)
+        scale = np.maximum(np.abs(ref_c), 1.0)
+        assert np.all(np.abs(out.astype(np.complex128) - ref_c)
+                      <= tol * scale)
+
+    d0 = _typed_block(rng, w, dtype)
+
+    db, dr = d0.copy(), d0.copy()                        # lu_nopivot
+    assert be.lu_nopivot(db, 1e-10) == ref.lu_nopivot(dr, 1e-10)
+    check(db, dr)
+
+    db, dr = d0.copy(), d0.copy()                        # lu_partial
+    pb, rb = be.lu_partial(db, 1e-10, pivot_threshold=0.5)
+    pr, rr = ref.lu_partial(dr, 1e-10, pivot_threshold=0.5)
+    assert np.array_equal(pb, pr) and rb == rr
+    check(db, dr)
+
+    b0 = _typed(rng, (m, w), dtype)                      # trsm_upper
+    check(be.trsm_upper(d0.copy(), b0.copy()),
+          ref.trsm_upper(d0.copy(), b0.copy()))
+
+    r0 = _typed(rng, (w, m), dtype)                      # trsm_lower_unit
+    check(be.trsm_lower_unit(d0.copy(), r0.copy()),
+          ref.trsm_lower_unit(d0.copy(), r0.copy()))
+
+    l = _typed(rng, (m, w), dtype)                       # gemm_update
+    u = _typed(rng, (w, m), dtype)
+    check(be.gemm_update(l, u), ref.gemm_update(l, u))
+
+    tgt0 = _typed(rng, (3 * w, 2 * m), dtype)            # scatter_sub
+    src = _typed(rng, (w, m), dtype)
+    rows = rng.choice(3 * w, size=w, replace=False)
+    cols = rng.choice(2 * m, size=m, replace=False)
+    tb, tr_ = tgt0.copy(), tgt0.copy()
+    be.scatter_sub(tb, rows, cols, src)
+    ref.scatter_sub(tr_, rows, cols, src)
+    check(tb, tr_)
+
+    spa0 = _typed(rng, (4 * w,), dtype)                  # spa_axpy
+    srows = rng.choice(4 * w, size=w, replace=False)
+    vals = _typed(rng, (w,), dtype)
+    sb, sr = spa0.copy(), spa0.copy()
+    be.spa_axpy(sb, srows, vals, 1.5)
+    ref.spa_axpy(sr, srows, vals, 1.5)
+    check(sb, sr)
+
+    check(be.col_scale(vals, 3.7), ref.col_scale(vals, 3.7))
+
+    x1 = _typed(rng, (w,), dtype)                        # diag solves, 1-D
+    check(be.diag_solve_lower_unit(d0, x1.copy()),
+          ref.diag_solve_lower_unit(d0, x1.copy()))
+    x2 = _typed(rng, (w, m), dtype)                      # diag solves, 2-D
+    check(be.diag_solve_upper(d0, x2.copy()),
+          ref.diag_solve_upper(d0, x2.copy()))
+
+    ldense = np.tril(_typed_block(rng, w, dtype))        # csc multi-RHS
+    udense = np.triu(_typed_block(rng, w, dtype))
+    lp, li, lv = _csc_from_dense(ldense)
+    up, ui, uv = _csc_from_dense(udense)
+    xl0 = _typed(rng, (w, 2), dtype)
+    for unit in (False, True):
+        check(be.csc_lower_multi(lp, li, lv, xl0.copy(), unit),
+              ref.csc_lower_multi(lp, li, lv, xl0.copy(), unit))
+    xu0 = _typed(rng, (w, 2), dtype)
+    check(be.csc_upper_multi(up, ui, uv, xu0.copy()),
+          ref.csc_upper_multi(up, ui, uv, xu0.copy()))
+
+
+def test_tiny_pivot_replacement_is_dtype_and_phase_preserving():
+    """The ±thresh safeguard stays in the block's dtype, and for complex
+    pivots keeps the phase (``p/|p|·thresh``) instead of comparing with
+    ``>=`` (which raises on complex)."""
+    ref = ReferenceBackend()
+
+    d = np.eye(3, dtype=np.float32)
+    d[1, 1] = np.float32(-1e-12)
+    assert ref.lu_nopivot(d, 1e-6) == [1]
+    assert d.dtype == np.float32
+    assert d[1, 1] == np.float32(-1e-6)    # sign kept, dtype kept
+
+    z = np.eye(3, dtype=np.complex128)
+    z[2, 2] = 1e-12 * np.exp(0.7j)
+    assert ref.lu_nopivot(z, 1e-6) == [2]
+    assert z.dtype == np.complex128
+    assert abs(z[2, 2]) == pytest.approx(1e-6)
+    assert np.angle(z[2, 2]) == pytest.approx(0.7)
+
+    z0 = np.eye(2, dtype=np.complex128)    # zero pivot: no phase to keep
+    z0[0, 0] = 0.0
+    assert ref.lu_nopivot(z0, 1e-6) == [0]
+    assert z0[0, 0] == 1e-6

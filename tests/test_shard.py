@@ -197,13 +197,33 @@ def test_spool_roundtrip_and_idempotence(tmp_path):
 
 
 def test_spool_skips_torn_and_foreign_files(tmp_path):
+    from repro.obs import Tracer, use_tracer
+
     cache = _plans_for([sparse_matrix(seed=9)])
     spool.save_plans(tmp_path, cache.snapshot(), set())
     (tmp_path / "torn.plan.pkl").write_bytes(b"\x80\x04 this is not")
     (tmp_path / "foreign.plan.pkl").write_bytes(
         pickle.dumps({"schema": "spool/v999", "key": (), "plan": None}))
     fresh = FactorizationCache(maxsize=32)
+    tracer = Tracer()
+    with use_tracer(tracer), pytest.warns(spool.SpoolSkipWarning) as rec:
+        assert spool.load_plans(tmp_path, fresh) == 1
+    tracer.finish()
+    # skips are loud, not silent: one summary warning naming the files
+    # plus a cataloged counter with the per-call count
+    assert tracer.root.all_counters()["spool.load_skipped"] == 2
+    msg = str(rec.list[0].message)
+    assert "torn.plan.pkl" in msg and "foreign.plan.pkl" in msg
+    assert "skipped 2 of 3" in msg
+
+
+def test_spool_clean_load_emits_no_warning(tmp_path, recwarn):
+    cache = _plans_for([sparse_matrix(seed=9)])
+    spool.save_plans(tmp_path, cache.snapshot(), set())
+    fresh = FactorizationCache(maxsize=32)
     assert spool.load_plans(tmp_path, fresh) == 1
+    assert not [w for w in recwarn.list
+                if isinstance(w.message, spool.SpoolSkipWarning)]
 
 
 def test_spool_path_is_content_addressed(tmp_path):

@@ -1,0 +1,169 @@
+"""Process executor vs simulator: bit-identity and real scaling.
+
+The executor layer's contract (docs/EXECUTOR.md) has two measurable
+halves:
+
+- **correctness** — the process executor must produce bit-identical
+  L/U factors and solutions to the simulator oracle, per grid; and
+- **performance** — unlike the simulator (one Python thread, zero real
+  parallelism), P worker processes factoring the same matrix should
+  actually get faster with P, GIL-free.
+
+``bit_identity_rows`` measures the first over process grids 1x2, 2x2,
+2x3; ``executor_scaling`` the second as the 1-rank / P-rank wall-time
+ratio of the process-executor factorization.  The >=1.5x 1->4 scaling
+floor is only *enforced* on hosts with at least 4 CPUs
+(``floor_enforced`` — skipped, not failed, elsewhere); bit-identity is
+enforced unconditionally.  ``scripts/bench_trajectory.py --bench
+executor`` writes both as the schema-versioned ``BENCH_executor.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.dmem import best_grid, distribute_matrix
+from repro.dmem.procexec import ProcessExecutor
+from repro.matrices import matrix_by_name
+from repro.ordering.colamd import column_ordering
+from repro.ordering.etree import etree_symmetric, postorder
+from repro.pdgstrf import pdgstrf
+from repro.pdgstrs import pdgstrs
+from repro.sparse.ops import (
+    norm1,
+    pattern_union_transpose,
+    permute_symmetric,
+)
+from repro.symbolic import (
+    block_partition,
+    build_block_dag,
+    symbolic_lu_symmetrized,
+)
+
+SCALING_FLOOR = 1.5          # 1 -> 4 rank wall-time ratio, process executor
+SCALING_RANKS = (1, 4)
+BIT_IDENTITY_GRIDS = (2, 4, 6)   # best_grid -> 1x2, 2x2, 2x3
+
+
+def _ordered(a):
+    """Fill-reducing column ordering + etree postorder, as the driver's
+    colperm step does — without it the natural-order fill of the larger
+    testbed matrices swamps the executor comparison."""
+    a = permute_symmetric(a, column_ordering(a, method="mmd_ata"))
+    return permute_symmetric(a, postorder(
+        etree_symmetric(pattern_union_transpose(a))))
+
+
+def _factor(name, p, executor, max_block=8):
+    a = _ordered(matrix_by_name(name).build())
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=max_block)
+    dag = build_block_dag(sym, part)
+    dist = distribute_matrix(a, sym, part, best_grid(p))
+    run = pdgstrf(dist, dag, anorm=norm1(a), executor=executor)
+    return a, dist, run
+
+
+def _blocks_equal(d1, d2):
+    for r in range(len(d1.diag)):
+        for s1, s2 in ((d1.diag[r], d2.diag[r]), (d1.lblk[r], d2.lblk[r]),
+                       (d1.ublk[r], d2.ublk[r])):
+            if set(s1) != set(s2):
+                return False
+            if any(not np.array_equal(blk, s2[k]) for k, blk in s1.items()):
+                return False
+    return True
+
+
+def bit_identity_rows(name="cfd02", grids=BIT_IDENTITY_GRIDS):
+    """Factor + solve on both executors per grid; returns one row per
+    grid with the bit-comparison verdicts and the solve residual."""
+    rows = []
+    for p in grids:
+        a, dist_sim, _ = _factor(name, p, "sim")
+        _, dist_proc, _ = _factor(name, p, "process")
+        factors_ok = _blocks_equal(dist_sim, dist_proc)
+        b = a @ np.ones(a.ncols)
+        x_sim = pdgstrs(dist_sim, b, executor="sim").x
+        x_proc = pdgstrs(dist_proc, b, executor="process").x
+        g = best_grid(p)
+        rows.append({
+            "p": p,
+            "grid": f"{g.nprow}x{g.npcol}",
+            "factors_identical": bool(factors_ok),
+            "solution_identical": bool(np.array_equal(x_sim, x_proc)),
+            "residual": float(np.linalg.norm(a @ x_sim - b)
+                              / np.linalg.norm(b)),
+        })
+    return rows
+
+
+def executor_scaling(name="cfd06", ranks=SCALING_RANKS, rounds=3,
+                     max_block=16):
+    """Best-of-``rounds`` process-executor factorization wall time at
+    each rank count; returns the summary dict (scaling = wall(ranks[0])
+    / wall(ranks[-1]), floor gated on the host CPU count)."""
+    a = _ordered(matrix_by_name(name).build())
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=max_block)
+    dag = build_block_dag(sym, part)
+    anorm = norm1(a)
+    rows = []
+    for p in ranks:
+        ex = ProcessExecutor()
+        best = float("inf")
+        for _ in range(rounds):
+            dist = distribute_matrix(a, sym, part, best_grid(p))
+            t0 = time.perf_counter()
+            pdgstrf(dist, dag, anorm=anorm, executor=ex)
+            best = min(best, time.perf_counter() - t0)
+        g = best_grid(p)
+        rows.append({"ranks": p, "grid": f"{g.nprow}x{g.npcol}",
+                     "wall_seconds": best})
+    cpus = os.cpu_count() or 1
+    scaling = rows[0]["wall_seconds"] / rows[-1]["wall_seconds"]
+    return {
+        "matrix": name,
+        "n": a.ncols,
+        "nnz": a.nnz,
+        "rounds": rounds,
+        "ranks": rows,
+        "scaling": scaling,
+        "scaling_floor": SCALING_FLOOR,
+        "cpus": cpus,
+        # the floor needs real cores to express real parallelism:
+        # skipped, not failed, on smaller hosts
+        "floor_enforced": cpus >= max(ranks),
+    }
+
+
+def bench_executor_factor(benchmark):
+    """pytest-benchmark row: 4-rank process-executor factorization."""
+    a = _ordered(matrix_by_name("cfd06").build())
+    sym = symbolic_lu_symmetrized(a)
+    part = block_partition(sym, max_size=16)
+    dag = build_block_dag(sym, part)
+    anorm = norm1(a)
+    ex = ProcessExecutor()
+
+    def once():
+        dist = distribute_matrix(a, sym, part, best_grid(4))
+        pdgstrf(dist, dag, anorm=anorm, executor=ex)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    for row in bit_identity_rows():
+        print(f"grid {row['grid']}: factors identical "
+              f"{row['factors_identical']}, solution identical "
+              f"{row['solution_identical']}, resid {row['residual']:.2e}")
+    out = executor_scaling()
+    for r in out["ranks"]:
+        print(f"{r['ranks']} rank(s) ({r['grid']}): "
+              f"{r['wall_seconds']:.3f}s")
+    print(f"scaling 1->{out['ranks'][-1]['ranks']}: {out['scaling']:.2f}x "
+          f"(floor {out['scaling_floor']}x, "
+          f"{'enforced' if out['floor_enforced'] else 'not enforced'} "
+          f"on {out['cpus']} cpu)")

@@ -71,10 +71,35 @@ the same seeded stream through the multi-process sharded tier at 1 and
 ``floor_enforced`` is true — i.e. the host has at least ``--shards``
 CPUs; the bit-identity requirement is enforced unconditionally.
 
+``--bench executor`` runs the executor-layer trajectory of
+``benchmarks/bench_executor.py`` (simulator-vs-process bit-identity per
+grid, plus the 1->N rank wall-clock scaling of the real process
+executor) and writes ``BENCH_executor.json``:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --bench executor
+
+Schema ``bench_executor/v1``::
+
+    {
+      "schema": "bench_executor/v1",
+      "bit_identity": {"matrix": "...",
+                       "rows": [{"p", "grid", "factors_identical",
+                                 "solution_identical", "residual"}, ...],
+                       "all_identical": true},
+      "scaling": {"matrix", "n", "nnz", "rounds",
+                  "ranks": [{"ranks", "grid", "wall_seconds"}, ...],
+                  "scaling", "scaling_floor": 1.5, "cpus",
+                  "floor_enforced"}
+    }
+
+Bit-identity is enforced unconditionally; the >=1.5x 1->4 scaling
+floor only when ``floor_enforced`` is true (the host has at least 4
+CPUs — skipped, not failed, on smaller boxes).
+
 The acceptance floors (warm >= 1.3x cold; vectorized >= 1.5x reference;
-coalesced burst >= 2x sequential) are asserted here as well as in the
-benchmarks, so the JSON never records a regressed run without the exit
-status saying so.
+coalesced burst >= 2x sequential; process executor >= 1.5x 1->4 when
+enforced) are asserted here as well as in the benchmarks, so the JSON
+never records a regressed run without the exit status saying so.
 """
 
 import argparse
@@ -241,20 +266,66 @@ def run_service(args):
     return 0
 
 
+def run_executor(args):
+    from bench_executor import (
+        SCALING_FLOOR,
+        bit_identity_rows,
+        executor_scaling,
+    )
+
+    ident_matrix = "cfd02"
+    rows = bit_identity_rows(name=ident_matrix)
+    all_identical = all(r["factors_identical"] and r["solution_identical"]
+                        for r in rows)
+    scaling = executor_scaling(name=args.matrix, rounds=args.rounds)
+    record = {
+        "schema": "bench_executor/v1",
+        "bit_identity": {"matrix": ident_matrix, "rows": rows,
+                         "all_identical": all_identical},
+        "scaling": scaling,
+    }
+    out = pathlib.Path(args.out or (ROOT / "BENCH_executor.json"))
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    for r in rows:
+        print(f"{ident_matrix} grid {r['grid']}: factors identical "
+              f"{r['factors_identical']}, solution identical "
+              f"{r['solution_identical']}, resid {r['residual']:.2e}")
+    for r in scaling["ranks"]:
+        print(f"{scaling['matrix']} {r['ranks']} rank(s) ({r['grid']}): "
+              f"{r['wall_seconds']:.3f}s")
+    print(f"scaling 1->{scaling['ranks'][-1]['ranks']}: "
+          f"{scaling['scaling']:.2f}x (floor {SCALING_FLOOR}x, "
+          f"{'enforced' if scaling['floor_enforced'] else 'not enforced'} "
+          f"on {scaling['cpus']} cpu)")
+    print(f"written: {out}")
+    if not all_identical:
+        print("FAIL: process executor not bit-identical to the simulator",
+              file=sys.stderr)
+        return 1
+    if scaling["floor_enforced"] and \
+            scaling["scaling"] < scaling["scaling_floor"]:
+        print("FAIL: process executor below the 1->N rank scaling floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench", choices=("refactor", "kernels", "service"),
+    ap.add_argument("--bench",
+                    choices=("refactor", "kernels", "service", "executor"),
                     default="refactor",
                     help="which trajectory to run (default: refactor)")
     ap.add_argument("--matrix", default="cfd06",
-                    help="testbed matrix name (default: cfd06; "
-                         "refactor mode only)")
+                    help="testbed matrix name (default: cfd06; refactor "
+                         "mode and the executor scaling row)")
     ap.add_argument("--sweeps", type=int, default=5,
                     help="warm refactorizations after the cold factor "
                          "(refactor mode only)")
     ap.add_argument("--rounds", type=int, default=5,
                     help="interleaved replay rounds per backend (kernels "
-                         "mode) / timed rounds per side (service mode)")
+                         "mode) / timed rounds per side (service mode) / "
+                         "timed rounds per rank count (executor mode)")
     ap.add_argument("--burst", type=int, default=8,
                     help="same-pattern burst width (service mode only)")
     ap.add_argument("--requests", type=int, default=40,
@@ -275,6 +346,8 @@ def main(argv=None):
         return run_kernels(args)
     if args.bench == "service":
         return run_service(args)
+    if args.bench == "executor":
+        return run_executor(args)
     return run_refactor(args)
 
 

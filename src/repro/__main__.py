@@ -67,8 +67,12 @@ def cmd_solve(args):
         extra_precision_residual=args.extra_precision,
         fact=args.fact,
         kernel_backend=args.kernel_backend,
+        executor=args.executor,
         factor_dtype=args.factor_dtype,
     )
+    if args.executor and args.nprocs <= 1:
+        print("note: --executor only affects the distributed pipeline; "
+              "use --nprocs > 1", file=sys.stderr)
     if args.refactor_sweep:
         return _refactor_sweep(a, b, opts, args)
     fault_plan = None
@@ -110,6 +114,15 @@ def cmd_solve(args):
     print(f"matrix           : {args.matrix}  (n={n}, nnz={a.nnz})")
     if args.nprocs > 1:
         print(f"virtual procs    : {args.nprocs}")
+        from repro.dmem.executor import resolve_executor
+
+        print(f"executor         : {resolve_executor(dsolver.executor).name}")
+        if dsolver.factor_run is not None:
+            fr = dsolver.factor_run
+            # model clock is simulated seconds on "sim", real seconds on
+            # "process"; wall is always host wall-clock for the run
+            print(f"factor time      : model {fr.elapsed:.4f}s  "
+                  f"wall {fr.wall_seconds:.4f}s")
     if nnz_lu is not None:
         print(f"fill nnz(L+U)    : {nnz_lu}")
         print(f"tiny pivots      : {n_tiny}")
@@ -446,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dense-kernel backend ('reference', 'vectorized', "
                         "'compiled', ...); default: $REPRO_KERNEL_BACKEND, "
                         "then 'reference' (see docs/KERNELS.md)")
+    p.add_argument("--executor", default=None,
+                   choices=["sim", "process"],
+                   help="runtime for the distributed phases (--nprocs > 1): "
+                        "'sim' (event-loop simulator) or 'process' (one "
+                        "real worker process per rank, shared-memory "
+                        "payloads); default: $REPRO_DMEM_EXECUTOR, then "
+                        "'sim' (see docs/EXECUTOR.md)")
     p.add_argument("--factor-dtype", default="float64",
                    choices=["float64", "float32"],
                    help="numeric factorization precision; 'float32' "

@@ -15,6 +15,11 @@ measurements of Tables 3-5.
   operations, and the structured :class:`CommTimeoutError`;
 - :mod:`~repro.dmem.simulator` — the deterministic event loop and
   per-rank statistics (time, flops, bytes, messages, blocked time);
+- :mod:`~repro.dmem.executor` — the pluggable runtime seam
+  (:class:`RankJob`, :func:`resolve_executor`): the simulator is one
+  executor, :mod:`~repro.dmem.procexec`'s real per-rank worker
+  processes (shared-memory payload transfer) another, bit-identical
+  to it (docs/EXECUTOR.md);
 - :mod:`~repro.dmem.faults` — seeded, deterministic fault injection
   (message drop/duplication/delay, rank slowdown, compute jitter);
 - :mod:`~repro.dmem.machine` — the T3E-class cost model;
@@ -48,6 +53,12 @@ from repro.dmem.distribute import (
     distribute_matrix,
     refill_values,
 )
+from repro.dmem.executor import (
+    RankJob,
+    SimulatorExecutor,
+    UnknownExecutorError,
+    resolve_executor,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -71,4 +82,8 @@ __all__ = [
     "DistributedBlocks",
     "distribute_matrix",
     "refill_values",
+    "RankJob",
+    "SimulatorExecutor",
+    "UnknownExecutorError",
+    "resolve_executor",
 ]

@@ -108,6 +108,27 @@ class Message:
     arrival: float = field(default=0.0, compare=False)
     msg_id: int = field(default=-1, compare=False)
 
+    def __reduce__(self):
+        # Messages cross process boundaries under the process executor;
+        # the transport-private ``_seq``/``_count`` attributes (set
+        # outside __init__) must survive the trip because FIFO tie-break
+        # and dedup accounting read them on the receiving side.
+        return (_rebuild_message,
+                (self.source, self.tag, self.payload, self.nbytes,
+                 self.arrival, self.msg_id,
+                 getattr(self, "_seq", None), getattr(self, "_count", None)))
+
+
+def _rebuild_message(source, tag, payload, nbytes, arrival, msg_id,
+                     seq, count):
+    m = Message(source=source, tag=tag, payload=payload, nbytes=nbytes,
+                arrival=arrival, msg_id=msg_id)
+    if seq is not None:
+        m._seq = seq
+    if count is not None:
+        m._count = count
+    return m
+
 
 @dataclass
 class Timeout:
@@ -127,19 +148,21 @@ class CommTimeoutError(RuntimeError):
     Attributes
     ----------
     rank:
-        The failing rank (filled in by the simulator).
+        The failing rank (filled in by the executor).
     source, tag:
         What the receive was waiting for (``-1`` = ANY).
     timeout, attempts:
-        The per-attempt timeout (simulated seconds) and how many attempts
-        were made before giving up.
+        The per-attempt timeout and how many attempts were made before
+        giving up (simulated seconds on the simulator; wall seconds —
+        scaled by ``timeout_scale`` — on the process executor).
     where:
         Free-form protocol location, e.g. ``"pdgstrf step1 k=3"``.
     clock:
-        Simulated time at failure (filled in by the simulator).
+        Executor clock at failure (simulated time on the simulator, wall
+        seconds since run start on the process executor).
     blocked:
         Snapshot of every still-blocked rank at failure — a list of
-        :class:`BlockedRank` — filled in by the simulator.
+        :class:`BlockedRank` — filled in by the executor.
     """
 
     def __init__(self, source, tag, timeout, attempts, where=""):
@@ -167,9 +190,27 @@ class CommTimeoutError(RuntimeError):
         return msg
 
     def refresh(self):
-        """Re-render the message after the simulator fills in context."""
+        """Re-render the message after the executor fills in context."""
         self.args = (self._describe(),)
         return self
+
+    def __reduce__(self):
+        # The default exception pickling calls ``cls(*self.args)`` which
+        # does not match this __init__ signature; the process executor
+        # ships these across a result queue, so spell the rebuild out.
+        return (_rebuild_comm_timeout,
+                (self.source, self.tag, self.timeout, self.attempts,
+                 self.where, self.rank, self.clock, list(self.blocked)))
+
+
+def _rebuild_comm_timeout(source, tag, timeout, attempts, where,
+                          rank, clock, blocked):
+    err = CommTimeoutError(source=source, tag=tag, timeout=timeout,
+                           attempts=attempts, where=where)
+    err.rank = rank
+    err.clock = clock
+    err.blocked = list(blocked)
+    return err.refresh()
 
 
 def recv_with_retry(source=ANY_SOURCE, tag=ANY_TAG, timeout=None,

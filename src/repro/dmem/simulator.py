@@ -33,6 +33,7 @@ Failure modes are first-class (docs/ROBUSTNESS.md):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.dmem.comm import (
@@ -100,6 +101,12 @@ class RankStats:
     compute_time: float = 0.0   # time advanced by Compute ops
     blocked_time: float = 0.0   # recv-completion minus recv-call time
     send_time: float = 0.0      # CPU overhead charged for sends
+    # real wall-clock seconds this rank's program took to run.  Under the
+    # simulator every per-rank field above is *simulated* time and this
+    # stays 0.0 (the whole-run wall time is on SimulationResult); under
+    # the process executor time/compute_time/blocked_time/send_time are
+    # themselves wall measurements and this equals ``time``.
+    wall_seconds: float = 0.0
     flops: float = 0.0
     msgs_sent: int = 0
     msgs_received: int = 0
@@ -109,6 +116,10 @@ class RankStats:
     msgs_dropped: int = 0       # this rank's sends lost in transit
     msgs_duplicated: int = 0    # this rank's sends delivered twice
     recv_timeouts: int = 0      # Recv deadlines that fired on this rank
+    # process-executor payload accounting: sends this rank moved through
+    # a shared-memory segment instead of inline pickling (simulator: 0)
+    shm_msgs: int = 0
+    shm_bytes: int = 0
     # blocked time attributed to the tag *kind* of the message that ended
     # the wait (tag mod 4 for the factorization protocol) — the per-cause
     # idle breakdown the paper extracted from the Apprentice tool ("idle
@@ -130,6 +141,16 @@ class SimulationResult:
     stats: list                       # RankStats per rank
     elapsed: float                    # max rank clock = parallel runtime
     returns: list                     # generator return values per rank
+    # real wall-clock seconds the run took end to end.  ``elapsed`` is
+    # model time under the simulator (and == wall time, re-measured, on
+    # the process executor); this field is always a wall measurement, so
+    # callers never report model-clock numbers as wall time.
+    wall_seconds: float = 0.0
+    # per-rank state shipped back by RankJob.collect under an executor
+    # whose workers do not share memory with the caller (process
+    # executor); None when rank programs mutated caller memory in place
+    # (simulator) or the job collects nothing.
+    collected: list | None = None
 
     @property
     def total_flops(self):
@@ -204,23 +225,28 @@ def simulate(programs, machine: MachineModel | None = None,
     including under fault injection, whose decisions are seeded.
     """
     with trace("dmem/simulate"):
+        t0 = time.perf_counter()
         result = _simulate(programs, machine, max_events, fault_plan)
+        result.wall_seconds = time.perf_counter() - t0
         if get_tracer().enabled:
             add("dmem.msgs_sent", result.total_messages)
             add("dmem.bytes_sent", result.total_bytes)
             add("dmem.wait_time", sum(s.blocked_time for s in result.stats))
             add("dmem.compute_time",
                 sum(s.compute_time for s in result.stats))
+            add("dmem.wall_seconds", result.wall_seconds)
             if fault_plan is not None or result.total_recv_timeouts:
                 add("dmem.msgs_dropped", result.total_dropped)
                 add("dmem.msgs_duplicated", result.total_duplicated)
                 add("dmem.recv_timeouts", result.total_recv_timeouts)
             annotate(
                 elapsed=result.elapsed,
+                wall_seconds=result.wall_seconds,
                 nranks=len(result.stats),
                 per_rank=[{
                     "rank": s.rank,
                     "time": s.time,
+                    "wall_seconds": s.wall_seconds,
                     "compute_time": s.compute_time,
                     "blocked_time": s.blocked_time,
                     "send_time": s.send_time,

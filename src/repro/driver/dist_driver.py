@@ -99,6 +99,14 @@ class DistributedGESPSolver:
     recv_timeout, recv_retries:
         Override the per-receive timeout (simulated seconds) and retry
         budget used when a fault plan is active.
+    executor:
+        Runtime for the distributed phases: ``"sim"`` (event-loop
+        simulator), ``"process"`` (one real worker process per rank over
+        ``multiprocessing`` queues with shared-memory payloads), an
+        executor instance, or ``None`` — which falls back to
+        ``options.executor``, then the ``REPRO_DMEM_EXECUTOR``
+        environment variable, then ``"sim"``.  Factors and solutions are
+        bit-identical across executors (docs/EXECUTOR.md).
     dense_tail_threshold:
         §5 switch-to-dense: merge the trailing supernodes into one dense
         block when the bottom-right submatrix's fill density exceeds this
@@ -120,6 +128,7 @@ class DistributedGESPSolver:
     fault_plan: object | None = None
     recv_timeout: float | None = None
     recv_retries: int = 2
+    executor: object | None = None
     tracer: Tracer | None = None
     cache: object = None
 
@@ -131,6 +140,8 @@ class DistributedGESPSolver:
         if self.grid is None:
             self.grid = best_grid(self.nprocs)
         self.options.validate()
+        if self.executor is None:
+            self.executor = self.options.executor
         if self.options.fact == "FACTORED":
             raise ValueError(
                 "fact='FACTORED' asserts the existing factors are current; "
@@ -402,7 +413,8 @@ class DistributedGESPSolver:
                 recv_timeout=self.recv_timeout,
                 recv_retries=self.recv_retries,
                 schedule=self._schedule,
-                kernel=self.options.kernel_backend)
+                kernel=self.options.kernel_backend,
+                executor=self.executor)
         return self.factor_run
 
     def solve_distributed(self, b) -> SolveRun:
@@ -422,7 +434,8 @@ class DistributedGESPSolver:
                           fault_plan=self.fault_plan,
                           recv_timeout=self.recv_timeout,
                           recv_retries=self.recv_retries,
-                          kernel=self.options.kernel_backend)
+                          kernel=self.options.kernel_backend,
+                          executor=self.executor)
             x = self.dc * run.x[self.perm_c]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 
@@ -446,7 +459,8 @@ class DistributedGESPSolver:
                           fault_plan=self.fault_plan,
                           recv_timeout=self.recv_timeout,
                           recv_retries=self.recv_retries,
-                          kernel=self.options.kernel_backend)
+                          kernel=self.options.kernel_backend,
+                          executor=self.executor)
             x = self.dc[:, None] * run.x[self.perm_c, :]
         return SolveRun(x=x, lower=run.lower, upper=run.upper)
 

@@ -84,6 +84,14 @@ class GESPOptions:
         registered name); ``None`` defers to the
         ``REPRO_KERNEL_BACKEND`` environment variable and finally the
         bit-exact ``"reference"`` default.
+    executor:
+        Runtime for the distributed rank programs (distributed driver
+        only): ``"sim"`` (event-loop simulator, the deterministic
+        oracle), ``"process"`` (one real worker process per rank,
+        shared-memory payload transfer), or ``None`` to defer to the
+        ``REPRO_DMEM_EXECUTOR`` environment variable and finally
+        ``"sim"``.  Both produce bit-identical factors and solutions
+        (docs/EXECUTOR.md).
     factor_dtype:
         Precision of the numeric factorization: ``"float64"`` (default)
         or ``"float32"``.  With ``"float32"`` the factors are computed
@@ -113,6 +121,7 @@ class GESPOptions:
     diag_block_pivoting: float = 0.0
     fact: str = "DOFACT"
     kernel_backend: str | None = None
+    executor: str | None = None
     factor_dtype: str = "float64"
 
     def validate(self):
@@ -125,6 +134,12 @@ class GESPOptions:
             from repro.kernels import get_backend
 
             get_backend(self.kernel_backend)
+        if self.executor is not None:
+            from repro.dmem.executor import EXECUTOR_NAMES, UnknownExecutorError
+
+            if (isinstance(self.executor, str)
+                    and self.executor not in EXECUTOR_NAMES):
+                raise UnknownExecutorError(self.executor)
         if self.fact not in ("DOFACT", "SAME_PATTERN",
                              "SAME_PATTERN_SAME_ROWPERM", "FACTORED"):
             raise ValueError(f"unknown fact {self.fact!r}")

@@ -120,6 +120,23 @@ COUNTERS = (
         "delivering a message (each retry of recv_with_retry counts "
         "once)."),
     CounterSpec(
+        "dmem.wall_seconds", "second (wall)",
+        "repro/dmem/simulator.py, repro/dmem/procexec.py",
+        "Real host wall-clock seconds for one executor run, distinct "
+        "from the simulated clock: the simulator's event loop time, or "
+        "the process executor's spawn-to-join time."),
+    CounterSpec(
+        "dmem.shm_msgs", "message",
+        "repro/dmem/procexec.py",
+        "Messages whose payload traveled through a POSIX shared-memory "
+        "segment instead of being pickled inline (process executor "
+        "only; payloads at or above the shm threshold)."),
+    CounterSpec(
+        "dmem.shm_bytes", "byte",
+        "repro/dmem/procexec.py",
+        "Payload bytes moved through shared-memory segments by the "
+        "process executor."),
+    CounterSpec(
         "kernel.lu_calls", "call",
         "repro/kernels/__init__.py",
         "Dense diagonal-block LU factorizations executed by the active "

@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.dmem.comm import Compute, Send, recv_with_retry
 from repro.dmem.distribute import DistributedBlocks
+from repro.dmem.executor import RankJob, resolve_executor
 from repro.dmem.machine import MachineModel
-from repro.dmem.simulator import SimulationResult, simulate
+from repro.dmem.simulator import SimulationResult
 
 # default per-attempt receive timeout (simulated seconds) when fault
 # injection is active: orders of magnitude above any legitimate wait at
@@ -61,8 +62,14 @@ class FactorizationRun:
 
     @property
     def elapsed(self):
-        """Modeled parallel factorization time (seconds)."""
+        """Parallel factorization time: model seconds on the simulator,
+        real wall seconds on the process executor."""
         return self.sim.elapsed
+
+    @property
+    def wall_seconds(self):
+        """Real wall-clock seconds the factorization run took."""
+        return self.sim.wall_seconds
 
     def mflops(self):
         return self.sim.mflops()
@@ -79,7 +86,8 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
             recv_timeout: float | None = None,
             recv_retries: int = DEFAULT_RECV_RETRIES,
             schedule: dict | None = None,
-            kernel=None) -> FactorizationRun:
+            kernel=None,
+            executor=None) -> FactorizationRun:
     """Factor the distributed matrix in place (values in ``dist`` become
     the L and U factors).
 
@@ -116,9 +124,17 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
         Dense-kernel backend selector (name, instance, or ``None`` for
         the ``REPRO_KERNEL_BACKEND``/default resolution); every rank's
         dense block math routes through it.
+    executor:
+        Rank-program runtime: an executor instance, ``"sim"`` /
+        ``"process"``, or ``None`` for the ``REPRO_DMEM_EXECUTOR`` /
+        simulator default (:func:`repro.dmem.executor.resolve_executor`).
+        The process executor runs one worker per rank and ships each
+        rank's factored blocks back into ``dist``; results are
+        bit-identical to the simulator.
     """
     machine = machine or MachineModel()
     backend = resolve_backend(kernel)
+    exec_ = resolve_executor(executor)
     if tiny_pivot_scale is None:
         tiny_pivot_scale = float(np.sqrt(np.finfo(np.float64).eps))
     thresh = (tiny_pivot_scale * anorm if anorm > 0 else tiny_pivot_scale) \
@@ -130,14 +146,28 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
             kernel_counters(backend):
         sched = schedule if schedule is not None \
             else build_schedule(dist, dag, edag_prune)
-        progs = [_rank_program(r, dist, dag, thresh, pipeline, edag_prune,
-                               sched, recv_timeout, recv_retries, backend)
-                 for r in range(dist.grid.size)]
-        sim = simulate(progs, machine=machine, fault_plan=fault_plan)
+        job = RankJob(
+            nranks=dist.grid.size,
+            factory=_rank_program,
+            # the kernel travels by *name*: backend instances need not
+            # pickle, and in-process the registry hands back the same
+            # singleton so kernel_counters keeps tallying
+            kwargs=dict(dist=dist, dag=dag, thresh=thresh,
+                        pipeline=pipeline, edag_prune=edag_prune,
+                        sched=sched, recv_timeout=recv_timeout,
+                        recv_retries=recv_retries, kernel=backend.name),
+            collect=_collect_factor_state)
+        sim = exec_.run(job, machine=machine, fault_plan=fault_plan)
+        if sim.collected is not None:
+            # executors whose workers do not share memory with the
+            # caller ship each rank's factored blocks home explicitly
+            for r, state in enumerate(sim.collected):
+                dist.diag[r], dist.lblk[r], dist.ublk[r] = state
         n_tiny = sum(sim.returns)
         add("factor.flops", sim.total_flops)
         add("factor.tiny_pivots", n_tiny)
-        annotate(elapsed=sim.elapsed, nprocs=dist.grid.size,
+        annotate(elapsed=sim.elapsed, wall_seconds=sim.wall_seconds,
+                 nprocs=dist.grid.size, executor=exec_.name,
                  nsuper=dag.nsuper, kernel_backend=backend.name)
     dist.n_tiny_pivots = n_tiny
     dist.tiny_pivot_threshold = thresh
@@ -146,6 +176,15 @@ def pdgstrf(dist: DistributedBlocks, dag: BlockDAG,
 
 
 # --------------------------------------------------------------------- #
+
+def _collect_factor_state(rank, dist, **_kwargs):
+    """RankJob.collect hook: rank ``rank``'s share of the factors.
+
+    Runs in whatever process executed the rank program; the parent
+    merges the returned triple back into its own ``dist``.
+    """
+    return (dist.diag[rank], dist.lblk[rank], dist.ublk[rank])
+
 
 def build_schedule(dist, dag, edag_prune):
     """Precompute the per-iteration communication schedule once.

@@ -29,8 +29,14 @@ class SolveRun:
 
     @property
     def elapsed(self):
-        """Modeled time for both substitutions."""
+        """Modeled time for both substitutions (simulator) or real wall
+        seconds (process executor)."""
         return self.lower.elapsed + self.upper.elapsed
+
+    @property
+    def wall_seconds(self):
+        """Real wall-clock seconds spent in both substitutions."""
+        return self.lower.wall_seconds + self.upper.wall_seconds
 
     @property
     def total_flops(self):
@@ -65,21 +71,26 @@ class SolveRun:
 
 def pdgstrs(dist: DistributedBlocks, b, machine=None,
             fault_plan=None, recv_timeout=None, recv_retries=2,
-            kernel=None) -> SolveRun:
-    """Solve ``L U x = b`` on the factored distributed blocks."""
+            kernel=None, executor=None) -> SolveRun:
+    """Solve ``L U x = b`` on the factored distributed blocks.
+
+    ``executor`` selects the runtime both substitutions run on
+    (``"sim"``/``"process"``/instance); results are bit-identical
+    across executors thanks to canonical-order accumulation.
+    """
     with trace("solve/pdgstrs"):
         with trace("solve/lower"):
             y, low = pdgstrs_lower(dist, b, machine=machine,
                                    fault_plan=fault_plan,
                                    recv_timeout=recv_timeout,
                                    recv_retries=recv_retries,
-                                   kernel=kernel)
+                                   kernel=kernel, executor=executor)
         with trace("solve/upper"):
             x, up = pdgstrs_upper(dist, y, machine=machine,
                                   fault_plan=fault_plan,
                                   recv_timeout=recv_timeout,
                                   recv_retries=recv_retries,
-                                  kernel=kernel)
+                                  kernel=kernel, executor=executor)
         run = SolveRun(x=x, lower=low, upper=up)
         add("solve.flops", run.total_flops)
         return run

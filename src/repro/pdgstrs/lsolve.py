@@ -18,6 +18,14 @@ The main loop is a receive-any dispatcher on the two message kinds —
 the paper's "execution of the program is message-driven" — with local
 cascades (a solve enabling local updates enabling further solves)
 processed eagerly between receives.
+
+Accumulation order is *canonical*, not arrival order: block-update
+contributions are buffered per (target, source supernode) and partial
+sums per contributing rank, then reduced in sorted order once the
+``fmod``/``frecv`` counters hit zero.  Floating-point results are
+therefore a function of the inputs alone — bit-identical across message
+interleavings, and in particular across the simulator and the real
+process executor (docs/EXECUTOR.md).
 """
 
 from __future__ import annotations
@@ -71,23 +79,31 @@ def lower_solve_programs(dist: DistributedBlocks, b,
 
 def pdgstrs_lower(dist: DistributedBlocks, b, machine=None,
                   fault_plan=None, recv_timeout=None, recv_retries=2,
-                  kernel=None):
-    """Simulate the lower solve; returns ``(y, SimulationResult)``.
+                  kernel=None, executor=None):
+    """Run the lower solve; returns ``(y, SimulationResult)``.
 
     ``b`` may be a vector (n,) or a block of right-hand sides (n, nrhs) —
     the message-driven algorithm is identical, with subvectors replaced
     by (width × nrhs) sub-blocks (the multiple-RHS case the paper's §5
-    closing discussion anticipates).
+    closing discussion anticipates).  ``executor`` selects the runtime
+    (``"sim"``/``"process"``/instance, see
+    :func:`repro.dmem.executor.resolve_executor`); the canonical-order
+    accumulation makes the result bit-identical across executors.
     """
-    from repro.dmem.simulator import simulate
+    from repro.dmem.executor import RankJob, resolve_executor
+    from repro.kernels import resolve_backend_name
     from repro.pdgstrf.factor2d import DEFAULT_RECV_TIMEOUT
 
     if recv_timeout is None and fault_plan is not None:
         recv_timeout = DEFAULT_RECV_TIMEOUT
     b = np.asarray(b, dtype=np.float64)
-    sim = simulate(lower_solve_programs(dist, b, recv_timeout, recv_retries,
-                                        kernel),
-                   machine=machine, fault_plan=fault_plan)
+    exec_ = resolve_executor(executor)
+    job = RankJob(nranks=dist.grid.size, factory=_rank_lower,
+                  kwargs=dict(dist=dist, b=b, contrib=_contributor_map(dist),
+                              recv_timeout=recv_timeout,
+                              recv_retries=recv_retries,
+                              kernel=resolve_backend_name(kernel)))
+    sim = exec_.run(job, machine=machine, fault_plan=fault_plan)
     y = np.empty(b.shape)
     xsup = dist.part.xsup
     for parts in sim.returns:
@@ -117,7 +133,10 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         fmod[i_blk] = fmod.get(i_blk, 0) + 1
     for v in my_lblocks.values():
         v.sort()
-    lsum = {k: zeros_block(dist.width(k)) for k in fmod}
+    # pending[I] = {J: (row index into block I, L(I,J)·x(J))} — block
+    # updates buffered until fmod[I] hits zero, then reduced in sorted-J
+    # order (canonical, arrival-independent)
+    pending = {}
 
     my_diag = sorted(dist.diag[rank].keys())
     frecv = {}
@@ -127,6 +146,10 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         n_lsum_expected += remote
         frecv[k] = remote + (1 if rank in contrib[k] else 0)
     acc = {k: b[xsup[k]:xsup[k + 1]].astype(np.float64).copy() for k in my_diag}
+    # parts[K] = {rank: partial sum} — each contributing rank delivers
+    # exactly one lsum(K) (this rank's own under its own rank id), so the
+    # keys are unique; reduced in sorted-rank order at solve time
+    parts = {k: {} for k in my_diag}
     solved = {}
     # distinct J with owned L(·,J) blocks whose diagonal process is remote
     n_x_expected = sum(1 for j in my_lblocks if grid.owner(j, j) != rank)
@@ -134,13 +157,15 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
     # ---- local cascade helpers --------------------------------------- #
 
     def deliver_part(k, vec):
+        # vec is freshly reduced by apply_x and never touched again here —
+        # safe to hand to Send / store without a defensive copy
         d = grid.owner(k, k)
         if d == rank:
-            acc[k] -= vec
+            parts[k][rank] = vec
             frecv[k] -= 1
             yield from maybe_solve(k)
         else:
-            yield Send(dest=d, tag=2 * k + _TAG_LSUM, payload=vec.copy(),
+            yield Send(dest=d, tag=2 * k + _TAG_LSUM, payload=vec,
                        nbytes=vec.nbytes)
 
     def maybe_solve(k):
@@ -149,6 +174,9 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         d = dist.diag[rank][k]
         w = dist.width(k)
         y = acc[k]
+        for src in sorted(parts[k]):
+            y -= parts[k][src]
+        parts[k].clear()
         backend.diag_solve_lower_unit(d, y)
         yield Compute(flops=w * w * nrhs, width=w)
         solved[k] = y
@@ -166,10 +194,16 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
             contribution = backend.gemm_update(blk, xj)
             yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
                           width=blk.shape[1])
-            lsum[i_blk][rows - xsup[i_blk]] += contribution
+            pending.setdefault(i_blk, {})[j] = (rows - xsup[i_blk],
+                                                contribution)
             fmod[i_blk] -= 1
             if fmod[i_blk] == 0:
-                yield from deliver_part(i_blk, lsum[i_blk])
+                vec = zeros_block(dist.width(i_blk))
+                contribs = pending.pop(i_blk)
+                for jj in sorted(contribs):
+                    idx, c = contribs[jj]
+                    vec[idx] += c
+                yield from deliver_part(i_blk, vec)
 
     # ---- seeding: supernodes solvable with no remote input ------------ #
     for k in list(my_diag):
@@ -193,7 +227,7 @@ def _rank_lower(rank, dist: DistributedBlocks, b, contrib,
         if kind == _TAG_X:
             yield from apply_x(k, np.asarray(m.payload))
         else:
-            acc[k] -= np.asarray(m.payload)
+            parts[k][m.source] = np.asarray(m.payload)
             frecv[k] -= 1
             yield from maybe_solve(k)
     return solved

@@ -11,6 +11,10 @@ sent *down process column* J mod npcol to the owners of U(·,J) blocks.
 the row-oriented U storage makes the implementation slightly more
 involved ("two vertical linked lists" for column access); in this layout
 the per-supernode column index sets play that role.
+
+Like the lower solve, accumulation is canonical-order (contributions
+buffered and reduced in sorted order, never arrival order), so the
+result is bit-identical across executors — see docs/EXECUTOR.md.
 """
 
 from __future__ import annotations
@@ -64,20 +68,27 @@ def upper_solve_programs(dist: DistributedBlocks, y,
 
 def pdgstrs_upper(dist: DistributedBlocks, y, machine=None,
                   fault_plan=None, recv_timeout=None, recv_retries=2,
-                  kernel=None):
-    """Simulate the upper solve; returns ``(x, SimulationResult)``.
+                  kernel=None, executor=None):
+    """Run the upper solve; returns ``(x, SimulationResult)``.
 
     Accepts a vector (n,) or a block (n, nrhs), like the lower solve.
+    ``executor`` selects the runtime (``"sim"``/``"process"``/instance).
     """
-    from repro.dmem.simulator import simulate
+    from repro.dmem.executor import RankJob, resolve_executor
+    from repro.kernels import resolve_backend_name
     from repro.pdgstrf.factor2d import DEFAULT_RECV_TIMEOUT
 
     if recv_timeout is None and fault_plan is not None:
         recv_timeout = DEFAULT_RECV_TIMEOUT
     y = np.asarray(y, dtype=np.float64)
-    sim = simulate(upper_solve_programs(dist, y, recv_timeout, recv_retries,
-                                        kernel),
-                   machine=machine, fault_plan=fault_plan)
+    exec_ = resolve_executor(executor)
+    job = RankJob(nranks=dist.grid.size, factory=_rank_upper,
+                  kwargs=dict(dist=dist, y=y, contrib=_contributor_map(dist),
+                              consumers=_consumer_map(dist),
+                              recv_timeout=recv_timeout,
+                              recv_retries=recv_retries,
+                              kernel=resolve_backend_name(kernel)))
+    sim = exec_.run(job, machine=machine, fault_plan=fault_plan)
     x = np.empty(y.shape)
     xsup = dist.part.xsup
     for parts in sim.returns:
@@ -106,7 +117,9 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
         umod[k_blk] = umod.get(k_blk, 0) + 1
     for v in my_ublocks.values():
         v.sort()
-    usum = {k: zeros_block(dist.width(k)) for k in umod}
+    # pending[K] = {J: U(K,J)·x(J)} — buffered, reduced in sorted-J order
+    # once umod[K] reaches zero (canonical, arrival-independent)
+    pending = {}
 
     my_diag = sorted(dist.diag[rank].keys())
     urecv = {}
@@ -116,17 +129,20 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
         n_usum_expected += remote
         urecv[k] = remote + (1 if rank in contrib[k] else 0)
     acc = {k: y[xsup[k]:xsup[k + 1]].astype(np.float64).copy() for k in my_diag}
+    # parts[K] = {rank: partial sum}, reduced in sorted-rank order
+    parts = {k: {} for k in my_diag}
     solved = {}
     n_x_expected = sum(1 for j in my_ublocks if grid.owner(j, j) != rank)
 
     def deliver_part(k, vec):
+        # vec is freshly reduced by apply_x — no defensive copy needed
         d = grid.owner(k, k)
         if d == rank:
-            acc[k] -= vec
+            parts[k][rank] = vec
             urecv[k] -= 1
             yield from maybe_solve(k)
         else:
-            yield Send(dest=d, tag=2 * k + _TAG_USUM, payload=vec.copy(),
+            yield Send(dest=d, tag=2 * k + _TAG_USUM, payload=vec,
                        nbytes=vec.nbytes)
 
     def maybe_solve(k):
@@ -135,6 +151,9 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
         d = dist.diag[rank][k]
         w = dist.width(k)
         x = acc[k]
+        for src in sorted(parts[k]):
+            x -= parts[k][src]
+        parts[k].clear()
         backend.diag_solve_upper(d, x)
         yield Compute(flops=w * w * nrhs, width=w)
         solved[k] = x
@@ -155,10 +174,14 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
             contribution = backend.gemm_update(blk, xj[cols - xsup[j]])
             yield Compute(flops=2 * blk.shape[0] * blk.shape[1] * nrhs,
                           width=blk.shape[0])
-            usum[k_blk] += contribution
+            pending.setdefault(k_blk, {})[j] = contribution
             umod[k_blk] -= 1
             if umod[k_blk] == 0:
-                yield from deliver_part(k_blk, usum[k_blk])
+                vec = zeros_block(dist.width(k_blk))
+                contribs = pending.pop(k_blk)
+                for jj in sorted(contribs):
+                    vec += contribs[jj]
+                yield from deliver_part(k_blk, vec)
 
     for k in sorted(my_diag, reverse=True):
         yield from maybe_solve(k)
@@ -180,7 +203,7 @@ def _rank_upper(rank, dist: DistributedBlocks, y, contrib, consumers,
         if kind == _TAG_X:
             yield from apply_x(k, np.asarray(m.payload))
         else:
-            acc[k] -= np.asarray(m.payload)
+            parts[k][m.source] = np.asarray(m.payload)
             urecv[k] -= 1
             yield from maybe_solve(k)
     return solved

@@ -32,12 +32,14 @@ The taxonomy (see ``docs/ROBUSTNESS.md`` for the full catalog):
     Iterative refinement stopped making progress above the certification
     target (the paper's factor-of-two stagnation rule tripped).
 ``comm_timeout``
-    A simulated distributed phase gave up waiting for a message
+    A distributed phase — on the simulator or the real process executor
+    — gave up waiting for a message
     (:class:`repro.dmem.comm.CommTimeoutError` — typically injected
     message loss under a :class:`repro.dmem.faults.FaultPlan`).
 ``deadlock``
-    The simulated machine stalled with every rank blocked and no timeout
-    armed (:class:`repro.dmem.simulator.DeadlockError`).
+    The distributed machine stalled with every rank blocked and no
+    timeout armed (:class:`repro.dmem.simulator.DeadlockError`; the
+    process executor's run-timeout watchdog raises the same type).
 """
 
 from __future__ import annotations
@@ -185,10 +187,12 @@ def check_refinement(berr: float, converged: bool,
 
 
 def diagnose_comm_failure(exc: BaseException) -> FailureDiagnosis:
-    """Turn a simulated-communication exception into a diagnosis.
+    """Turn a distributed-communication exception into a diagnosis.
 
     Handles :class:`repro.dmem.comm.CommTimeoutError` (fault-induced
-    message loss surfacing through the recv timeout machinery) and
+    message loss surfacing through the recv timeout machinery — on the
+    simulator or the process executor, which tags the exception with
+    ``executor="process"``) and
     :class:`repro.dmem.simulator.DeadlockError` (a stall with no timeout
     armed); anything else is re-raised by the caller.
     """
@@ -202,6 +206,7 @@ def diagnose_comm_failure(exc: BaseException) -> FailureDiagnosis:
             data={"rank": exc.rank, "source": exc.source, "tag": exc.tag,
                   "attempts": exc.attempts, "timeout": exc.timeout,
                   "where": exc.where, "clock": exc.clock,
+                  "executor": getattr(exc, "executor", "sim"),
                   "blocked": [(b.rank, b.source, b.tag, b.clock)
                               for b in (exc.blocked or ())]})
     if isinstance(exc, DeadlockError):

@@ -122,6 +122,47 @@ def test_bench_trajectory_service_schema(tmp_path):
     assert sharded["floor_enforced"] == (sharded["cpus"] >= 4)
 
 
+def test_bench_trajectory_executor_schema(tmp_path):
+    out = tmp_path / "BENCH_executor.json"
+    # hard timeout: a deadlocked process-executor run must fail the test
+    # in minutes, not hang the suite
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "bench_trajectory.py"),
+         "--bench", "executor", "--matrix", "cfd03", "--rounds", "1",
+         "--out", str(out)],
+        capture_output=True, text=True, timeout=600,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    rec = json.loads(out.read_text())
+    assert rec["schema"] == "bench_executor/v1"
+    ident = rec["bit_identity"]
+    assert [r["grid"] for r in ident["rows"]] == ["1x2", "2x2", "2x3"]
+    assert ident["all_identical"] is True
+    assert all(r["factors_identical"] and r["solution_identical"]
+               for r in ident["rows"])
+    scaling = rec["scaling"]
+    assert [r["ranks"] for r in scaling["ranks"]] == [1, 4]
+    assert all(r["wall_seconds"] > 0 for r in scaling["ranks"])
+    assert scaling["scaling_floor"] == 1.5
+    # skipped, not failed, on small hosts — the record says which
+    assert scaling["floor_enforced"] == (scaling["cpus"] >= 4)
+    if scaling["floor_enforced"]:
+        assert scaling["scaling"] >= scaling["scaling_floor"]
+
+
+def test_executor_scaling_rows_smoke():
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from bench_executor import SCALING_FLOOR, executor_scaling
+    finally:
+        sys.path.pop(0)
+    out = executor_scaling(name="cfd03", ranks=(1, 2), rounds=1)
+    assert [r["ranks"] for r in out["ranks"]] == [1, 2]
+    assert out["scaling"] > 0.0
+    assert out["scaling_floor"] == SCALING_FLOOR == 1.5
+    assert out["floor_enforced"] == (out["cpus"] >= 2)
+
+
 @needs_spawn
 def test_sharded_open_loop_smoke():
     sys.path.insert(0, str(ROOT / "benchmarks"))

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Bench-record lint: every ``BENCH_*.json`` honors its declared schema.
+
+The repo's perf trajectories (``scripts/bench_trajectory.py``,
+``benchmarks/bench_workload.py``) persist schema-versioned JSON records
+at the repo root so successive sessions can track speedups and SLO
+floors over time.  A record that silently drops a field — or shuffles
+its run ids — would let a regression hide; this lint keeps the records
+honest.  Checks (run in the test suite via
+``tests/test_bench_schemas.py``, or directly with
+``python scripts/check_bench_schemas.py``):
+
+1. every ``BENCH_*.json`` at the repo root parses as a JSON object and
+   declares a ``schema`` field;
+2. the declared schema is registered below, and every field the schema
+   requires is present (extra fields are fine — schemas grow
+   additively, v-bumps are for removals/renames);
+3. every list of run entries (dicts carrying a ``"run"`` key, anywhere
+   in the record) has strictly increasing integer run ids, so a
+   record's trajectory ordering can be trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# schema -> required top-level fields ("schema" itself is implied).
+# Additions to a record keep its version; removals/renames bump it.
+SCHEMAS = {
+    "bench_refactor/v1": {
+        "matrix", "n", "nnz", "seed", "trajectory", "cold_seconds",
+        "warm_best_seconds", "speedup", "speedup_floor", "reuse"},
+    "bench_kernels/v1": {
+        "rounds", "rows", "speedup", "speedup_floor"},
+    "bench_service/v1": {
+        "matrix", "n", "nnz", "burst", "rounds", "seed",
+        "sequential_seconds", "service_seconds", "speedup",
+        "speedup_floor", "open_loop"},
+    "bench_executor/v1": {
+        "bit_identity", "scaling"},
+    "bench_workload/v1": {
+        "seed", "speed", "runs", "digests_reproducible"},
+}
+
+
+def bench_files(root: Path = REPO):
+    """All BENCH_*.json records at the repo root, sorted."""
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def _run_lists(node, path=""):
+    """Yield ``(json_path, list)`` for every list whose dict elements
+    all carry a ``"run"`` key — a run trajectory, wherever it nests."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _run_lists(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        if node and all(isinstance(e, dict) and "run" in e for e in node):
+            yield path, node
+        for i, value in enumerate(node):
+            yield from _run_lists(value, f"{path}[{i}]")
+
+
+def validate_record(doc) -> list[str]:
+    """Schema errors for one parsed record (empty = valid)."""
+    if not isinstance(doc, dict):
+        return ["record is not a JSON object"]
+    declared = doc.get("schema")
+    if not isinstance(declared, str):
+        return ["no 'schema' field declared"]
+    if declared not in SCHEMAS:
+        return [f"unknown schema {declared!r} (registered: "
+                f"{sorted(SCHEMAS)})"]
+    errors = []
+    missing = SCHEMAS[declared] - set(doc)
+    if missing:
+        errors.append(f"schema {declared}: missing fields "
+                      f"{sorted(missing)}")
+    for where, runs in _run_lists(doc):
+        ids = [e["run"] for e in runs]
+        if not all(isinstance(i, int) for i in ids):
+            errors.append(f"{where}: non-integer run id in {ids}")
+        elif any(b <= a for a, b in zip(ids, ids[1:])):
+            errors.append(f"{where}: run ids not strictly increasing: "
+                          f"{ids}")
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    """Errors for one record file, prefixed with its name."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    return [f"{path.name}: {err}" for err in validate_record(doc)]
+
+
+def main() -> int:
+    status = 0
+    files = bench_files()
+    for path in files:
+        for err in check_file(path):
+            print(err)
+            status = 1
+    if status == 0:
+        print(f"bench schemas: OK ({len(files)} records, "
+              f"{len(SCHEMAS)} schemas registered)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

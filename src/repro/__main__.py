@@ -12,11 +12,18 @@ Commands:
   a synthetic open-loop client and report throughput, latency
   percentiles, and coalescing width; ``--shards N`` serves through the
   sharded multi-process tier (repro.service.shard) instead;
+  ``--workload SPEC``/``--tenants SPEC`` replay a scenario stream with
+  multi-tenant SLO classes instead of the synthetic mix, and
+  ``--catalog DIR`` registers every ingested catalog matrix
+  (docs/WORKLOADS.md);
+- ``ingest``   — walk a directory of collection files into an on-disk
+  pattern catalog (fingerprints, stats, spooled warm-start plans);
 - ``testbed``  — list the built-in testbed matrices.
 
 Matrix files may be Matrix Market (``.mtx``) or Harwell-Boeing
-(``.rua``/``.rsa``/``.hb``); the right-hand side defaults to ``A·1`` so
-the printed forward error is meaningful without extra inputs.
+(``.rua``/``.rsa``/``.hb``), gzip-compressed variants included; the
+right-hand side defaults to ``A·1`` so the printed forward error is
+meaningful without extra inputs.
 
 Every command accepts the global ``--trace`` flag (print a span-tree
 report of where the time and flops went after the command finishes) and
@@ -36,6 +43,8 @@ def _load(path):
     from repro.sparse import read_harwell_boeing, read_matrix_market
 
     lower = path.lower()
+    if lower.endswith(".gz"):          # readers decompress transparently
+        lower = lower[:-3]
     if lower.endswith((".rua", ".rsa", ".hb", ".rb")):
         return read_harwell_boeing(path)
     return read_matrix_market(path)
@@ -324,12 +333,25 @@ def cmd_serve(args):
         synthetic_workload,
     )
 
+    workload_specs = tenant_specs = None
+    if args.workload:
+        from repro.workload import load_workload
+
+        workload_specs = load_workload(args.workload)
+    if args.tenants:
+        from repro.workload import load_tenants
+
+        tenant_specs = load_tenants(args.tenants)
     matrices = {}
     for name in args.matrices:
         try:
             matrices[name] = matrix_by_name(name).build()
         except KeyError:
             matrices[name] = _load(name)
+    if args.catalog:
+        from repro.workload import catalog_matrices
+
+        matrices.update(catalog_matrices(args.catalog))
     from repro.driver import GESPOptions
 
     cfg = ServiceConfig(max_workers=args.workers,
@@ -348,10 +370,23 @@ def cmd_serve(args):
               + (f", replicate above {args.hot_rps:.0f} req/s"
                  if args.hot_rps else ""))
     print(f"pattern mix      : {', '.join(f'{k} (n={a.ncols})' for k, a in sorted(matrices.items()))}")
-    print(f"workload         : {args.requests} requests, "
-          + (f"{args.rate:.0f}/s open loop" if args.rate else "single burst")
-          + (f", {args.deadline * 1e3:.0f}ms deadline"
-             if args.deadline is not None else ""))
+    if workload_specs is not None:
+        print("workload spec    : " + ", ".join(
+            f"{s.scenario}({s.matrix}, {s.arrival}@{s.rate:g}/s"
+            + (f", tenant {s.tenant}" if s.tenant else "") + ")"
+            for s in workload_specs))
+        if tenant_specs:
+            print("tenants          : " + ", ".join(
+                f"{t.name}(prio {t.priority}"
+                + (f", {t.deadline:g}s tier" if t.deadline else "")
+                + (f", quota {t.quota_rps:g}/s" if t.quota_rps else "")
+                + ")" for t in tenant_specs))
+    else:
+        print(f"workload         : {args.requests} requests, "
+              + (f"{args.rate:.0f}/s open loop" if args.rate
+                 else "single burst")
+              + (f", {args.deadline * 1e3:.0f}ms deadline"
+                 if args.deadline is not None else ""))
     if args.shards:
         service = ShardedSolveService(shards=args.shards, config=cfg,
                                       spool_dir=args.spool_dir,
@@ -362,13 +397,22 @@ def cmd_serve(args):
     with service as svc:
         for key, a in matrices.items():
             svc.register_matrix(key, a)
-        workload = synthetic_workload(matrices, args.requests,
-                                      seed=args.seed)
-        res = run_open_loop(svc, workload, rate=args.rate,
-                            deadline=args.deadline)
+        if workload_specs is not None:
+            from repro.workload import generate_all, run_workload
+
+            items = generate_all(workload_specs)
+            rep = run_workload(svc, items, tenants=tenant_specs,
+                               speed=args.speed)
+        else:
+            workload = synthetic_workload(matrices, args.requests,
+                                          seed=args.seed)
+            res = run_open_loop(svc, workload, rate=args.rate,
+                                deadline=args.deadline)
     # after close: the sharded tier merges its drained shards' inner
     # service.* counters into stats() (both services report post-close)
     stats = svc.stats()
+    if workload_specs is not None:
+        return _print_workload_report(rep, stats)
     s = res.summary()
     batches = stats.get("service.batched", 0)
     width = stats.get("service.coalesce_width", 0)
@@ -398,6 +442,49 @@ def cmd_serve(args):
                   f"loaded, {stats.get('service.shard.spool_saved', 0):.0f} "
                   "saved")
     return 0 if s["failed"] == 0 else 1
+
+
+def _print_workload_report(rep, stats) -> int:
+    """Per-tenant SLO table for ``serve --workload`` (the row shape
+    mirrors BENCH_workload.json)."""
+    print(f"{'tenant':<14} {'subm':>5} {'done':>5} {'shed':>5} {'disp':>5} "
+          f"{'exp':>4} {'p50(ms)':>8} {'p99(ms)':>8} {'dl-hit':>7} "
+          f"{'warm':>6}")
+    for row in rep.rows():
+        print(f"{row['tenant']:<14} {row['submitted']:>5} "
+              f"{row['completed']:>5} {row['quota_shed']:>5} "
+              f"{row['overloaded']:>5} {row['expired']:>4} "
+              f"{row['p50_latency_seconds'] * 1e3:>8.2f} "
+              f"{row['p99_latency_seconds'] * 1e3:>8.2f} "
+              f"{row['deadline_hit_rate']:>7.1%} "
+              f"{row['warm_hit_rate']:>6.1%}")
+    batches = stats.get("service.batched", 0)
+    if batches:
+        print(f"coalescing       : {batches} batches, mean width "
+              f"{stats.get('service.coalesce_width', 0) / batches:.2f}")
+    print(f"elapsed          : {rep.elapsed:.2f}s "
+          f"({rep.overall.completed / rep.elapsed:.1f} solves/s)"
+          if rep.elapsed else "")
+    return 0 if rep.overall.failed == 0 else 1
+
+
+def cmd_ingest(args):
+    """``ingest``: directory of collection files → pattern catalog."""
+    from repro.workload import ingest_directory
+
+    doc = ingest_directory(args.src, args.catalog,
+                           plans=not args.no_plans)
+    entries, skipped = doc["entries"], doc.get("skipped", [])
+    print(f"catalog          : {args.catalog}  ({len(entries)} entries)")
+    print(f"{'name':<18} {'n':>7} {'nnz':>9} {'zdiag':>6} {'strsym':>7} "
+          "plan")
+    for e in entries:
+        print(f"{e['name']:<18} {e['n']:>7} {e['nnz']:>9} "
+              f"{e['zero_diagonals']:>6} {e['str_sym']:>7.2f} "
+              f"{'spooled' if e['plan_spooled'] else '-'}")
+    for s in skipped:
+        print(f"skipped          : {s['source']}  ({s['reason']})")
+    return 0 if entries else 1
 
 
 def cmd_testbed(args):
@@ -556,7 +643,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "factors in single precision and lets berr "
                         "certification / the recovery ladder decide "
                         "(see docs/ROBUSTNESS.md)")
+    p.add_argument("--workload", metavar="SPEC", default=None,
+                   help="replay a workload/v1 scenario-spec JSON file "
+                        "(seeded transient/Newton streams) instead of "
+                        "the synthetic mix (see docs/WORKLOADS.md)")
+    p.add_argument("--tenants", metavar="SPEC", default=None,
+                   help="tenants/v1 JSON file of SLO classes (deadline "
+                        "tier, priority, token-bucket quota) registered "
+                        "before the workload runs (see docs/WORKLOADS.md)")
+    p.add_argument("--catalog", metavar="DIR", default=None,
+                   help="register every matrix of an ingested pattern "
+                        "catalog (python -m repro ingest) before serving")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="workload replay speed-up: arrival offsets are "
+                        "divided by this (default: 1.0 = real time)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "ingest",
+        help="ingest a directory of matrix files into a pattern catalog")
+    p.add_argument("src", help="directory of .mtx/.rua/.rsa/.hb/.rb files "
+                               "(gzip-compressed variants included)")
+    p.add_argument("--catalog", required=True, metavar="DIR",
+                   help="catalog directory to create or extend: "
+                        "catalog.json + normalized matrices + spooled "
+                        "warm-start plans (see docs/WORKLOADS.md)")
+    p.add_argument("--no-plans", action="store_true",
+                   help="skip the per-matrix cold factorization (faster "
+                        "cataloging, but serving starts cold instead of "
+                        "from the warm-start spool)")
+    p.set_defaults(fn=cmd_ingest)
 
     p = sub.add_parser("testbed", help="list built-in testbed matrices")
     p.set_defaults(fn=cmd_testbed)

@@ -211,6 +211,25 @@ COUNTERS = (
         "and that were then certified individually by the recovery "
         "ladder."),
     CounterSpec(
+        "service.tenant_requests", "request",
+        "repro/service/server.py, repro/service/shard/router.py",
+        "Requests submitted under a registered tenant (counted before "
+        "quota/priority resolution; quota sheds are included here and "
+        "also counted by service.tenant_quota_shed)."),
+    CounterSpec(
+        "service.tenant_quota_shed", "request",
+        "repro/service/server.py, repro/service/shard/router.py",
+        "Requests shed at admission because the tenant's token-bucket "
+        "quota was dry (the caller sees QuotaExceeded; the bucket is "
+        "global per tenant, enforced at the router in the sharded "
+        "tier)."),
+    CounterSpec(
+        "service.tenant_displaced", "request",
+        "repro/service/server.py",
+        "Queued requests of a registered tenant displaced from a full "
+        "admission queue by a strictly higher-priority arrival (the "
+        "displaced caller sees ServiceOverloaded)."),
+    CounterSpec(
         "service.shard.requests", "request",
         "repro/service/shard/router.py",
         "Requests admitted and routed by the sharded tier's front-end "
@@ -262,6 +281,33 @@ COUNTERS = (
         "one SpoolSkipWarning naming the files, so a wiped or "
         "incompatible warm-start spool is diagnosable instead of just "
         "slow."),
+    CounterSpec(
+        "workload.scenarios", "scenario",
+        "repro/workload/scenarios.py",
+        "Scenario streams generated (one per ScenarioSpec expanded by "
+        "generate / generate_all)."),
+    CounterSpec(
+        "workload.steps", "step",
+        "repro/workload/scenarios.py",
+        "Outer transient/continuation steps generated across scenarios "
+        "(each step re-drifts the matrix values on the fixed pattern)."),
+    CounterSpec(
+        "workload.requests", "request",
+        "repro/workload/scenarios.py",
+        "WorkloadItems emitted by the generators (steps x Newton "
+        "iterations; each becomes one SolveRequest when replayed)."),
+    CounterSpec(
+        "catalog.ingested", "matrix",
+        "repro/workload/catalog.py",
+        "Collection files ingested into the pattern catalog (entry "
+        "written, normalized .mtx.gz copy stored, plan spooled unless "
+        "disabled or structurally singular)."),
+    CounterSpec(
+        "catalog.skipped", "file",
+        "repro/workload/catalog.py",
+        "Candidate files skipped by ingestion with a recorded reason "
+        "(parse failure, non-square, or other per-file error; the walk "
+        "never aborts)."),
     CounterSpec(
         "recovery.attempts", "rung",
         "repro/recovery/ladder.py",

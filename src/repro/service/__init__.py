@@ -12,8 +12,8 @@ Module map:
 
 - :mod:`~repro.service.api` — requests, responses, futures, config,
   structured errors
-- :mod:`~repro.service.queue` — bounded admission queue with deadline
-  eviction
+- :mod:`~repro.service.queue` — bounded admission queue: deadline
+  eviction, tenant priority ordering, token-bucket quota
 - :mod:`~repro.service.batcher` — same-pattern coalescing into batches
 - :mod:`~repro.service.pool` — the worker thread pool
 - :mod:`~repro.service.server` — :class:`SolveService`, tying it all
@@ -31,6 +31,7 @@ docs/SHARDING.md for the multi-process tier.
 from repro.service.api import (
     DeadlineExceeded,
     PendingSolve,
+    QuotaExceeded,
     ServiceClosed,
     ServiceConfig,
     ServiceError,
@@ -53,6 +54,7 @@ from repro.service.shard import ShardedSolveService
 __all__ = [
     "DeadlineExceeded",
     "PendingSolve",
+    "QuotaExceeded",
     "ServiceClient",
     "ServiceClosed",
     "ServiceConfig",

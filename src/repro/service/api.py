@@ -32,6 +32,7 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "DeadlineExceeded",
     "PendingSolve",
+    "QuotaExceeded",
     "ServiceClosed",
     "ServiceConfig",
     "ServiceError",
@@ -109,6 +110,32 @@ class DeadlineExceeded(ServiceError):
     def __reduce__(self):
         # keep deadline/waited across pickling (see ServiceOverloaded)
         return (self.__class__, (self.deadline, self.waited))
+
+
+class QuotaExceeded(ServiceError):
+    """The tenant's token bucket was empty at admission.
+
+    Quota is the multi-tenant isolation primitive (docs/WORKLOADS.md):
+    a tenant flooding past its provisioned rate is shed *here*, before
+    it can queue, so its excess can never occupy capacity another
+    tenant's SLO depends on.  ``tenant`` names the offender, ``rate``/
+    ``burst`` its provisioned token bucket.  The request was not
+    admitted; a well-behaved client backs off to its provisioned rate.
+    """
+
+    def __init__(self, tenant: str, rate: float, burst: float):
+        self.tenant = str(tenant)
+        self.rate = float(rate)
+        self.burst = float(burst)
+        super().__init__(
+            f"tenant {self.tenant!r} exceeded its quota "
+            f"({self.rate:g} req/s, burst {self.burst:g}); "
+            "request shed at admission")
+
+    def __reduce__(self):
+        # keep the structured fields across pickling (see
+        # ServiceOverloaded) — quota sheds cross the shard boundary
+        return (self.__class__, (self.tenant, self.rate, self.burst))
 
 
 class ServiceClosed(ServiceError):
@@ -222,6 +249,17 @@ class SolveRequest:
     request_id:
         Caller-chosen identifier echoed on the response; assigned by
         the service (``"req-<n>"``) when empty.
+    tenant:
+        SLO-class name (see :mod:`repro.workload.tenants`).  When the
+        name is registered with the service
+        (:meth:`~repro.service.server.SolveService.register_tenant`)
+        the tenant's deadline tier fills a missing ``deadline``, its
+        priority orders the admission queue, and its token-bucket quota
+        gates admission (:class:`QuotaExceeded`).  Empty = untenanted:
+        priority 0, no quota.
+    priority:
+        Explicit queue priority (higher dispatches first); ``None``
+        defers to the tenant's class (and finally 0).
     """
 
     matrix: CSCMatrix | str
@@ -229,6 +267,8 @@ class SolveRequest:
     deadline: float | None = None
     options: GESPOptions | None = None
     request_id: str = ""
+    tenant: str = ""
+    priority: int | None = None
 
     def validate(self) -> "SolveRequest":
         if not isinstance(self.matrix, (CSCMatrix, str)):
@@ -246,6 +286,8 @@ class SolveRequest:
                     f"{self.matrix.ncols}")
         if self.deadline is not None and self.deadline < 0:
             raise ValueError("deadline must be >= 0 seconds")
+        if self.priority is not None and not isinstance(self.priority, int):
+            raise TypeError("priority must be an int (higher = sooner)")
         if self.options is not None:
             self.options.validate()
         return self

@@ -47,6 +47,7 @@ from repro.obs import Span, Tracer, get_tracer, use_tracer
 from repro.service.api import (
     DeadlineExceeded,
     PendingSolve,
+    QuotaExceeded,
     ServiceClosed,
     ServiceConfig,
     ServiceError,
@@ -61,12 +62,25 @@ from repro.service.batcher import (
     group_key,
 )
 from repro.service.pool import WorkerPool
-from repro.service.queue import AdmissionQueue, QueuedRequest
+from repro.service.queue import AdmissionQueue, QueuedRequest, TokenBucket
 from repro.sparse.csc import CSCMatrix
 
 __all__ = ["SolveService"]
 
 _clock = time.perf_counter
+
+
+class _TenantState:
+    """Per-tenant SLO state: the spec, its quota bucket, its counts."""
+
+    __slots__ = ("spec", "bucket", "counts")
+
+    def __init__(self, spec):
+        self.spec = spec
+        rate = getattr(spec, "quota_rps", None)
+        self.bucket = None if rate is None else TokenBucket(
+            rate, getattr(spec, "quota_burst", 1.0) or 1.0)
+        self.counts = {"requests": 0, "quota_shed": 0, "displaced": 0}
 
 
 class _PatternState:
@@ -129,6 +143,7 @@ class SolveService:
         self._dispatcher: threading.Thread | None = None
         self._patterns: dict[tuple, _PatternState] = {}
         self._matrices: dict[str, CSCMatrix] = {}
+        self._tenants: dict[str, _TenantState] = {}
         self._state_lock = threading.Lock()
         self._seq = 0
         self._started = False
@@ -207,13 +222,35 @@ class SolveService:
             self._matrices[key] = a
         return self
 
+    def register_tenant(self, spec):
+        """Register a tenant SLO class under its ``name``.
+
+        ``spec`` is duck-typed — any object with a ``name`` plus
+        optional ``priority`` (int, queue ordering), ``deadline``
+        (seconds, the tier's default budget), ``quota_rps`` /
+        ``quota_burst`` (token-bucket admission quota) works;
+        :class:`repro.workload.tenants.TenantSpec` is the canonical
+        one.  Requests whose ``tenant`` names a registered class
+        inherit its priority and deadline tier when they don't set
+        their own, and are shed at admission with
+        :class:`~repro.service.api.QuotaExceeded` when the class's
+        bucket runs dry.  Unregistered tenant names pass through with
+        accounting only."""
+        name = str(getattr(spec, "name", "") or "")
+        if not name:
+            raise ValueError("tenant spec needs a non-empty name")
+        with self._state_lock:
+            self._tenants[name] = _TenantState(spec)
+        return self
+
     def submit(self, request: SolveRequest) -> PendingSolve:
         """Admit one request; returns its :class:`PendingSolve` future.
 
         Raises :class:`ServiceOverloaded` (queue full — the request was
-        shed) or :class:`ServiceClosed`; a successfully admitted request
-        always completes its future, with a report or a structured
-        error.
+        shed), :class:`QuotaExceeded` (the request's tenant is out of
+        quota) or :class:`ServiceClosed`; a successfully admitted
+        request always completes its future, with a report or a
+        structured error.
         """
         if self._closing:
             raise ServiceClosed()
@@ -237,23 +274,55 @@ class SolveService:
         options = (request.options if request.options is not None
                    else self.config.options)
         now = _clock()
+        priority, deadline = self._admit_tenant(request, now)
         entry = QueuedRequest(
             request=request, pending=PendingSolve(request), matrix=matrix,
             group_key=group_key(matrix, options), options=options,
             t_enqueued=now,
-            deadline=None if request.deadline is None
-            else now + request.deadline)
+            deadline=None if deadline is None else now + deadline,
+            priority=priority, tenant=request.tenant)
         try:
-            evicted = self._queue.offer(entry, now)
+            outcome = self._queue.offer(entry, now)
         except ServiceOverloaded:
             self._count("service.rejected_overload", 1)
             raise
         except RuntimeError:
             raise ServiceClosed() from None
-        for stale in evicted:
+        for stale in outcome.expired:
             self._reject_expired(stale, now)
+        for bumped in outcome.displaced:
+            self._reject_displaced(bumped, now)
         self._count("service.requests", 1)
         return entry.pending
+
+    def _admit_tenant(self, request: SolveRequest, now: float):
+        """Resolve the request's effective (priority, relative deadline)
+        from its tenant class and charge the class's quota bucket;
+        raises :class:`QuotaExceeded` when the bucket is dry."""
+        priority = request.priority
+        deadline = request.deadline
+        if request.tenant:
+            with self._state_lock:
+                tstate = self._tenants.get(request.tenant)
+                if tstate is not None:
+                    tstate.counts["requests"] += 1
+                    shed = (tstate.bucket is not None
+                            and not tstate.bucket.try_take(now))
+                    if shed:
+                        tstate.counts["quota_shed"] += 1
+            if tstate is not None:
+                self._count("service.tenant_requests", 1)
+                if shed:
+                    self._count("service.tenant_quota_shed", 1)
+                    raise QuotaExceeded(request.tenant,
+                                        tstate.bucket.rate,
+                                        tstate.bucket.burst)
+                spec = tstate.spec
+                if priority is None:
+                    priority = getattr(spec, "priority", 0)
+                if deadline is None:
+                    deadline = getattr(spec, "deadline", None)
+        return int(priority or 0), deadline
 
     # ------------------------------------------------------------------ #
     # dispatch (the single dispatcher thread)
@@ -477,6 +546,22 @@ class SolveService:
             error=DeadlineExceeded(e.request.deadline, e.waited(now)),
             queued_seconds=e.waited(now)))
 
+    def _reject_displaced(self, e: QueuedRequest, now: float):
+        """A higher-priority arrival bumped ``e`` from the full queue:
+        from its caller's view the queue was full, so it gets the same
+        structured rejection an at-the-door shed would have."""
+        self._count("service.tenant_displaced", 1)
+        if e.tenant:
+            with self._state_lock:
+                tstate = self._tenants.get(e.tenant)
+                if tstate is not None:
+                    tstate.counts["displaced"] += 1
+        self._complete(e, SolveResponse(
+            request_id=e.request.request_id,
+            error=ServiceOverloaded(self._queue.capacity,
+                                    self._queue.capacity),
+            queued_seconds=e.waited(now)))
+
     def _complete(self, e: QueuedRequest, response: SolveResponse):
         e.pending._complete(response)
 
@@ -507,4 +592,7 @@ class SolveService:
         counters["queue_depth"] = len(self._queue)
         with self._state_lock:
             counters["patterns"] = len(self._patterns)
+            if self._tenants:
+                counters["tenants"] = {name: dict(st.counts)
+                                       for name, st in self._tenants.items()}
         return counters

@@ -128,6 +128,8 @@ class SubmitMsg:
     options: object = None             # GESPOptions or None
     deadline_remaining: float | None = None
     t_sent_wall: float = field(default_factory=time.time)
+    tenant: str = ""                   # SLO-class name (accounting only —
+    priority: int | None = None        # quota/tier resolve at the router)
 
     def remaining_deadline(self) -> float | None:
         """Budget left on arrival: the sent budget minus transit time

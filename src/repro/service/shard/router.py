@@ -49,6 +49,7 @@ import numpy as np
 from repro.obs import Span, Tracer, get_tracer
 from repro.service.api import (
     PendingSolve,
+    QuotaExceeded,
     ServiceClosed,
     ServiceConfig,
     ServiceError,
@@ -57,6 +58,7 @@ from repro.service.api import (
     SolveRequest,
     SolveResponse,
 )
+from repro.service.server import _TenantState
 from repro.service.shard.messages import (
     DrainMsg,
     PauseMsg,
@@ -186,6 +188,7 @@ class ShardedSolveService:
         self._shards = [_Shard(i) for i in range(shards)]
         self._matrices: dict[str, CSCMatrix] = {}
         self._fingerprints: dict[str, str] = {}
+        self._tenants: dict[str, _TenantState] = {}
 
         self._inflight: dict[str, _Inflight] = {}
         self._inflight_count = [0] * shards
@@ -357,6 +360,50 @@ class ShardedSolveService:
                 if not shard.dead and shard.request_q is not None:
                     shard.request_q.put(msg)
 
+    def register_tenant(self, spec):
+        """Register a tenant SLO class tier-wide.
+
+        Quota, priority and deadline tier resolve *here*, at the
+        router — one global token bucket per tenant, not one per shard,
+        so a tenant's provisioned rate means the same thing at any
+        shard count.  Shards receive the already-resolved priority and
+        remaining deadline plus the tenant name for accounting."""
+        name = str(getattr(spec, "name", "") or "")
+        if not name:
+            raise ValueError("tenant spec needs a non-empty name")
+        with self._state_lock:
+            self._tenants[name] = _TenantState(spec)
+        return self
+
+    def _admit_tenant(self, request: SolveRequest):
+        """Mirror of :meth:`SolveService._admit_tenant` on the router's
+        global tenant state; returns (priority, relative deadline)."""
+        priority = request.priority
+        deadline = request.deadline
+        if request.tenant:
+            now = time.perf_counter()
+            with self._state_lock:
+                tstate = self._tenants.get(request.tenant)
+                if tstate is not None:
+                    tstate.counts["requests"] += 1
+                    shed = (tstate.bucket is not None
+                            and not tstate.bucket.try_take(now))
+                    if shed:
+                        tstate.counts["quota_shed"] += 1
+            if tstate is not None:
+                self._count("service.tenant_requests")
+                if shed:
+                    self._count("service.tenant_quota_shed")
+                    raise QuotaExceeded(request.tenant,
+                                        tstate.bucket.rate,
+                                        tstate.bucket.burst)
+                spec = tstate.spec
+                if priority is None:
+                    priority = getattr(spec, "priority", 0)
+                if deadline is None:
+                    deadline = getattr(spec, "deadline", None)
+        return int(priority or 0), deadline
+
     def _resolve_fingerprint(self, request: SolveRequest) -> str:
         if isinstance(request.matrix, str):
             with self._state_lock:
@@ -392,6 +439,7 @@ class ShardedSolveService:
         request.validate()
         if not request.request_id:
             request.request_id = f"req-{next(self._seq)}"
+        priority, deadline = self._admit_tenant(request)
         fingerprint = self._resolve_fingerprint(request)
 
         if self._hot.note(fingerprint) and self.shards > 1:
@@ -424,7 +472,8 @@ class ShardedSolveService:
                 matrix=request.matrix, slab=slab,
                 b_inline=None if slab is not None else b,
                 options=request.options,
-                deadline_remaining=request.deadline)
+                deadline_remaining=deadline,
+                tenant=request.tenant, priority=priority)
             with shard.lock:
                 if shard.dead:
                     raise ShardDied(sid, None)
@@ -584,6 +633,10 @@ class ShardedSolveService:
         counters.setdefault("service.shard.replicated", 0)
         counters["shards"] = self.shards
         counters["replicated_patterns"] = len(self._replicas)
+        with self._state_lock:
+            if self._tenants:
+                counters["tenants"] = {name: dict(st.counts)
+                                       for name, st in self._tenants.items()}
         with self._inflight_lock:
             counters["inflight"] = len(self._inflight)
         for shard in self._shards:

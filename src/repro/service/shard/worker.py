@@ -114,7 +114,8 @@ class _ShardWorker:
                 return
             request = SolveRequest(
                 matrix=msg.matrix, b=b, deadline=remaining,
-                options=msg.options, request_id=msg.request_id)
+                options=msg.options, request_id=msg.request_id,
+                tenant=msg.tenant, priority=msg.priority)
             pending = self.service.submit(request)
         except ServiceOverloaded as exc:
             self._respond(msg, seg, SolveResponse(

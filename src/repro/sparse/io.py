@@ -5,9 +5,16 @@ Davis's (now SuiteSparse) collection, distributed in these two formats.
 We implement readers and writers from the published format specifications
 so that real collection files can be dropped into the benchmark harness
 in place of the synthetic analogs.
+
+Collection downloads ship gzip-compressed (``.mtx.gz``, ``.rua.gz``);
+both readers and writers handle a ``.gz`` suffix transparently, so an
+ingest directory of files straight off a collection mirror needs no
+unpacking step (:mod:`repro.workload.catalog` relies on this).
 """
 
 from __future__ import annotations
+
+import gzip
 
 import numpy as np
 
@@ -22,6 +29,14 @@ __all__ = [
 ]
 
 
+def _open_text(path, mode):
+    """Open ``path`` for text I/O, through gzip when it ends in .gz."""
+    name = path.decode() if isinstance(path, bytes) else str(path)
+    if name.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
 # --------------------------------------------------------------------- #
 # Matrix Market
 # --------------------------------------------------------------------- #
@@ -33,8 +48,9 @@ def read_matrix_market(path_or_lines):
     ``general``/``symmetric``/``skew-symmetric`` symmetries.  Pattern
     entries get value 1.0.  Symmetric storage is expanded to full storage.
     """
-    if isinstance(path_or_lines, (str, bytes)):
-        with open(path_or_lines, "r") as fh:
+    if isinstance(path_or_lines, (str, bytes)) or hasattr(path_or_lines,
+                                                          "__fspath__"):
+        with _open_text(path_or_lines, "r") as fh:
             lines = fh.read().splitlines()
     else:
         lines = list(path_or_lines)
@@ -73,7 +89,7 @@ def read_matrix_market(path_or_lines):
 def write_matrix_market(a: CSCMatrix, path, comment=None):
     """Write CSC matrix ``a`` as a general real coordinate MatrixMarket file."""
     coo = a.to_coo()
-    with open(path, "w") as fh:
+    with _open_text(path, "w") as fh:
         fh.write("%%MatrixMarket matrix coordinate real general\n")
         if comment:
             for line in str(comment).splitlines():
@@ -104,8 +120,9 @@ def read_harwell_boeing(path_or_lines):
     followed by column pointers, row indices and values.  RSA (symmetric)
     storage is expanded to full.
     """
-    if isinstance(path_or_lines, (str, bytes)):
-        with open(path_or_lines, "r") as fh:
+    if isinstance(path_or_lines, (str, bytes)) or hasattr(path_or_lines,
+                                                          "__fspath__"):
+        with _open_text(path_or_lines, "r") as fh:
             lines = fh.read().splitlines()
     else:
         lines = list(path_or_lines)
@@ -182,7 +199,7 @@ def write_harwell_boeing(a: CSCMatrix, path, title="repro matrix", key="REPRO"):
     ptr_cards = cards([f"{p:8d}" for p in ptr], 8)
     ind_cards = cards([f"{i:8d}" for i in ind], 8)
     val_cards = cards([f"{v:20.12E}" for v in val], 4)
-    with open(path, "w") as fh:
+    with _open_text(path, "w") as fh:
         fh.write(f"{title[:72]:<72}{key[:8]:<8}\n")
         tot = len(ptr_cards) + len(ind_cards) + len(val_cards)
         fh.write(f"{tot:14d}{len(ptr_cards):14d}{len(ind_cards):14d}"

@@ -1,0 +1,70 @@
+"""repro.workload — realistic workloads for the serving stack.
+
+The paper's premise is a usage *shape*: one sparsity pattern factored
+over and over with drifting values (Newton steps in circuit/device
+simulation, pseudo-transient CFD — paper §1).  This package drives the
+repo's machinery the way those users would, in three legs:
+
+- :mod:`~repro.workload.scenarios` — seeded, bit-reproducible
+  transient/Newton request-stream generators over the testbed patterns
+  at realistic arrival processes (Poisson, bursty, diurnal);
+- :mod:`~repro.workload.catalog` — bulk ingestion of real
+  Harwell-Boeing / Matrix Market files (``python -m repro ingest``)
+  into an on-disk pattern catalog with spooled warm-start plans;
+- :mod:`~repro.workload.tenants` / :mod:`~repro.workload.traffic` —
+  multi-tenant SLO classes (deadline tiers, priority, token-bucket
+  quotas) and the open-loop runner that replays scenario streams
+  against a service and reports per-tenant p50/p99, deadline hit-rate,
+  quota sheds and warm-reuse hit-rate.
+
+See docs/WORKLOADS.md for the scenario catalog, the tenant/workload
+JSON schemas and the catalog layout.
+"""
+
+from repro.workload.catalog import (
+    catalog_matrices,
+    ingest_directory,
+    load_catalog,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    WorkloadItem,
+    generate,
+    generate_all,
+    load_workload,
+    parse_workload,
+    stream_digest,
+)
+from repro.workload.tenants import (
+    TenantSpec,
+    TokenBucket,
+    load_tenants,
+    parse_tenants,
+)
+from repro.workload.traffic import (
+    TenantReport,
+    WorkloadReport,
+    run_workload,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioSpec",
+    "TenantReport",
+    "TenantSpec",
+    "TokenBucket",
+    "WorkloadItem",
+    "WorkloadReport",
+    "catalog_matrices",
+    "generate",
+    "generate_all",
+    "ingest_directory",
+    "load_catalog",
+    "load_tenants",
+    "load_workload",
+    "parse_tenants",
+    "parse_workload",
+    "run_workload",
+    "stream_digest",
+]

@@ -1,0 +1,103 @@
+"""Tenant SLO classes: deadline tiers, priorities, token-bucket quotas.
+
+A :class:`TenantSpec` is the unit of multi-tenant isolation: requests
+stamped with its name inherit its deadline tier and queue priority and
+are gated by its token-bucket quota (one global bucket per tenant —
+enforced by :meth:`SolveService.register_tenant
+<repro.service.server.SolveService.register_tenant>` in-process and at
+the router for the sharded tier).  The spec is deliberately duck-typed
+against the service: this module owns parsing and validation, the
+service only reads attributes, so neither imports the other's
+internals.
+
+Spec documents are JSON, schema ``tenants/v1`` (docs/WORKLOADS.md)::
+
+    {"schema": "tenants/v1",
+     "tenants": [
+       {"name": "interactive", "priority": 10, "deadline": 2.0},
+       {"name": "batch", "priority": 0, "quota_rps": 50,
+        "quota_burst": 5}]}
+
+:class:`~repro.service.queue.TokenBucket` (re-exported here) is the
+quota primitive — deterministic in its timestamps, so a replayed
+workload replays the exact admission decisions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.service.queue import TokenBucket
+
+__all__ = ["TENANTS_SCHEMA", "TenantSpec", "TokenBucket",
+           "load_tenants", "parse_tenants"]
+
+TENANTS_SCHEMA = "tenants/v1"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One SLO class.
+
+    Attributes
+    ----------
+    name:
+        The class name requests carry in ``SolveRequest.tenant``.
+    priority:
+        Admission-queue priority (higher dispatches first; under a
+        full queue a higher priority displaces the lowest).
+    deadline:
+        The tier's default per-request budget in seconds (fills a
+        request's missing ``deadline``); ``None`` = no deadline tier.
+    quota_rps / quota_burst:
+        Token-bucket quota: sustained requests/s and burst allowance.
+        ``quota_rps=None`` leaves the tenant unmetered.
+    """
+
+    name: str
+    priority: int = 0
+    deadline: float | None = None
+    quota_rps: float | None = None
+    quota_burst: float = 4.0
+
+    def validate(self) -> "TenantSpec":
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not isinstance(self.priority, int):
+            raise TypeError("priority must be an int")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
+        if self.quota_rps is not None:
+            # constructing the bucket runs its own validation
+            TokenBucket(self.quota_rps, self.quota_burst)
+        return self
+
+
+def parse_tenants(obj: dict) -> list[TenantSpec]:
+    """Parse a ``tenants/v1`` document into validated specs."""
+    if obj.get("schema") != TENANTS_SCHEMA:
+        raise ValueError(f"expected schema {TENANTS_SCHEMA!r}, "
+                         f"got {obj.get('schema')!r}")
+    known = {f.name for f in fields(TenantSpec)}
+    specs = []
+    seen = set()
+    for i, entry in enumerate(obj.get("tenants", [])):
+        unknown = set(entry) - known
+        if unknown:
+            raise ValueError(f"tenant #{i}: unknown fields "
+                             f"{sorted(unknown)}")
+        spec = TenantSpec(**entry).validate()
+        if spec.name in seen:
+            raise ValueError(f"duplicate tenant name {spec.name!r}")
+        seen.add(spec.name)
+        specs.append(spec)
+    if not specs:
+        raise ValueError("tenant spec lists no tenants")
+    return specs
+
+
+def load_tenants(path) -> list[TenantSpec]:
+    """Read a ``tenants/v1`` JSON file (see :func:`parse_tenants`)."""
+    with open(path) as fh:
+        return parse_tenants(json.load(fh))

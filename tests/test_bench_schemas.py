@@ -1,0 +1,93 @@
+"""Bench records stay honest: run scripts/check_bench_schemas.py as a test."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    path = REPO / "scripts" / "check_bench_schemas.py"
+    spec = importlib.util.spec_from_file_location("check_bench_schemas",
+                                                  path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+checker = _load_checker()
+
+
+def test_every_repo_bench_record_validates():
+    # the committed BENCH_*.json records must all lint clean
+    for path in checker.bench_files():
+        assert checker.check_file(path) == [], path.name
+
+
+def test_check_bench_schemas_cli_exit_status():
+    assert checker.main() == 0
+
+
+def test_workload_record_schema_is_registered():
+    assert "bench_workload/v1" in checker.SCHEMAS
+
+
+def test_missing_field_is_an_error():
+    doc = {"schema": "bench_executor/v1", "bit_identity": {}}
+    errors = checker.validate_record(doc)
+    assert len(errors) == 1 and "scaling" in errors[0]
+
+
+def test_unknown_and_undeclared_schemas_are_errors():
+    assert checker.validate_record({"schema": "bench_bogus/v9"})
+    assert checker.validate_record({"seed": 1})
+    assert checker.validate_record([1, 2, 3])
+
+
+def test_extra_fields_are_allowed():
+    # schemas grow additively: extras never fail the lint
+    doc = {"schema": "bench_executor/v1", "bit_identity": {},
+           "scaling": {}, "brand_new_field": 42}
+    assert checker.validate_record(doc) == []
+
+
+def test_non_monotone_run_ids_are_an_error():
+    doc = {"schema": "bench_workload/v1", "seed": 0, "speed": 1.0,
+           "digests_reproducible": True,
+           "runs": [{"run": 1}, {"run": 3}, {"run": 2}]}
+    errors = checker.validate_record(doc)
+    assert len(errors) == 1 and "strictly increasing" in errors[0]
+
+
+def test_nested_run_lists_are_checked():
+    # run lists are found wherever they nest, not just at top level
+    doc = {"schema": "bench_executor/v1", "bit_identity": {},
+           "scaling": {"inner": [{"run": 2}, {"run": 2}]}}
+    errors = checker.validate_record(doc)
+    assert len(errors) == 1 and "scaling.inner" in errors[0]
+
+
+def test_non_integer_run_ids_are_an_error():
+    doc = {"schema": "bench_executor/v1", "bit_identity": {},
+           "scaling": [{"run": "a"}, {"run": "b"}]}
+    errors = checker.validate_record(doc)
+    assert len(errors) == 1 and "non-integer" in errors[0]
+
+
+def test_unreadable_file_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "BENCH_broken.json"
+    bad.write_text("{not json")
+    errors = checker.check_file(bad)
+    assert len(errors) == 1 and "unreadable" in errors[0]
+
+
+def test_valid_file_roundtrip(tmp_path):
+    good = tmp_path / "BENCH_workload.json"
+    good.write_text(json.dumps({
+        "schema": "bench_workload/v1", "seed": 7, "speed": 25.0,
+        "digests_reproducible": True,
+        "runs": [{"run": 1, "name": "transient"},
+                 {"run": 2, "name": "multi_tenant"}]}))
+    assert checker.check_file(good) == []
+    assert checker.bench_files(tmp_path) == [good]

@@ -99,3 +99,58 @@ def test_mm_complex_rejected():
              "1 1 1.0 2.0"]
     with pytest.raises(ValueError):
         read_matrix_market(lines)
+
+
+# --------------------------------------------------------------------- #
+# gzip-compressed collection files (.mtx.gz / .rua.gz)
+# --------------------------------------------------------------------- #
+
+def test_mm_gzip_roundtrip_bit_exact(rng, tmp_path):
+    # the compressed write must round-trip to the same matrix as the
+    # plain one, bit for bit
+    d = rng.standard_normal((6, 6)) * (rng.random((6, 6)) < 0.4)
+    a = CSCMatrix.from_dense(d)
+    plain, gz = tmp_path / "m.mtx", tmp_path / "m.mtx.gz"
+    write_matrix_market(a, plain)
+    write_matrix_market(a, gz)
+    b_plain = read_matrix_market(str(plain))
+    b_gz = read_matrix_market(str(gz))
+    assert (b_gz.nzval == b_plain.nzval).all()
+    assert (b_gz.rowind == b_plain.rowind).all()
+    assert (b_gz.colptr == b_plain.colptr).all()
+
+
+def test_mm_gzip_file_is_actually_compressed(tmp_path):
+    path = tmp_path / "i.mtx.gz"
+    write_matrix_market(CSCMatrix.identity(3), path)
+    assert path.read_bytes()[:2] == b"\x1f\x8b"   # gzip magic
+    assert read_matrix_market(path).nnz == 3      # PathLike accepted
+
+
+def test_hb_gzip_roundtrip(rng, tmp_path):
+    d = rng.standard_normal((5, 5)) * (rng.random((5, 5)) < 0.5)
+    a = CSCMatrix.from_dense(d)
+    path = tmp_path / "m.rua.gz"
+    write_harwell_boeing(a, path)
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+    b = read_harwell_boeing(str(path))
+    assert np.allclose(b.to_dense(), d)
+
+
+def test_gz_suffix_on_non_gzip_bytes_raises(tmp_path):
+    # a mislabeled file must fail loudly, not parse garbage
+    bad = tmp_path / "junk.mtx.gz"
+    bad.write_bytes(b"%%MatrixMarket matrix coordinate real general\n")
+    with pytest.raises(OSError):
+        read_matrix_market(str(bad))
+
+
+def test_gzip_reader_rejects_truncated_stream(tmp_path):
+    import gzip
+
+    path = tmp_path / "t.mtx.gz"
+    write_matrix_market(CSCMatrix.identity(4), path)
+    whole = path.read_bytes()
+    path.write_bytes(whole[:-5])                  # chop the gzip trailer
+    with pytest.raises((OSError, EOFError, gzip.BadGzipFile)):
+        read_matrix_market(str(path))

@@ -28,18 +28,19 @@ from repro.service.batcher import (
     values_signature,
 )
 from repro.service.pool import WorkerPool
-from repro.service.queue import AdmissionQueue, QueuedRequest
+from repro.service.queue import AdmissionQueue, QueuedRequest, TokenBucket
 from repro.driver.options import GESPOptions
 from repro.sparse import CSCMatrix
 
 from conftest import random_nonsingular_dense
 
 
-def _entry(key=("k",), deadline=None, t=0.0):
+def _entry(key=("k",), deadline=None, t=0.0, priority=0):
     req = SolveRequest(matrix="m", b=np.zeros(1))
     return QueuedRequest(request=req, pending=PendingSolve(req),
                          matrix=None, group_key=key,
-                         options=None, t_enqueued=t, deadline=deadline)
+                         options=None, t_enqueued=t, deadline=deadline,
+                         priority=priority)
 
 
 # --------------------------------------------------------------------- #
@@ -74,8 +75,9 @@ def test_queue_full_evicts_expired_before_shedding():
     q.offer(stale, now=0.0)
     q.offer(live, now=0.0)
     newcomer = _entry(deadline=100.0)
-    evicted = q.offer(newcomer, now=5.0)   # past stale's deadline
-    assert evicted == [stale]              # caller owns the rejection
+    outcome = q.offer(newcomer, now=5.0)   # past stale's deadline
+    assert outcome.expired == [stale]      # caller owns the rejection
+    assert outcome.displaced == []
     assert q.drain_nowait() == [live, newcomer]
 
 
@@ -116,6 +118,52 @@ def test_queue_entries_remain_drainable_after_close():
     q.offer(e, now=0.0)
     q.close()
     assert q.drain_nowait() == [e]
+
+
+def test_queue_drains_highest_priority_first_fifo_within_level():
+    q = AdmissionQueue(capacity=8)
+    low1 = _entry(priority=0)
+    high = _entry(priority=5)
+    low2 = _entry(priority=0)
+    for e in (low1, high, low2):
+        q.offer(e, now=0.0)
+    assert q.drain_nowait() == [high, low1, low2]
+
+
+def test_queue_full_displaces_lowest_priority_for_higher():
+    q = AdmissionQueue(capacity=2)
+    flood1 = _entry(priority=0)
+    flood2 = _entry(priority=0)
+    q.offer(flood1, now=0.0)
+    q.offer(flood2, now=0.0)
+    vip = _entry(priority=10)
+    outcome = q.offer(vip, now=0.0)
+    # the latest-arrived of the lowest-priority waiters is bumped
+    assert outcome.displaced == [flood2]
+    assert outcome.expired == []
+    assert q.drain_nowait() == [vip, flood1]
+    # equal priority never displaces: the newcomer is shed instead
+    q.offer(_entry(priority=0), now=0.0)
+    q.offer(_entry(priority=0), now=0.0)
+    with pytest.raises(ServiceOverloaded):
+        q.offer(_entry(priority=0), now=0.0)
+
+
+def test_token_bucket_is_deterministic_in_its_timestamps():
+    tb = TokenBucket(rate=2.0, burst=2.0)      # starts full
+    assert tb.try_take(0.0)
+    assert tb.try_take(0.0)
+    assert not tb.try_take(0.0)                # dry
+    assert not tb.try_take(0.4)                # 0.8 tokens: still short
+    assert tb.try_take(0.6)                    # refilled past 1.0
+    # a replay with identical timestamps makes identical decisions
+    tb2 = TokenBucket(rate=2.0, burst=2.0)
+    assert [tb2.try_take(t) for t in (0.0, 0.0, 0.0, 0.4, 0.6)] == \
+        [True, True, False, False, True]
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.5)
 
 
 # --------------------------------------------------------------------- #
